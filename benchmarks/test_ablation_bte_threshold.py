@@ -1,0 +1,66 @@
+"""Ablation — the FMA->BTE protocol-switch threshold (DESIGN.md §4).
+
+GASNet-EX's tuned, low switch point is one source of the paper's Fig. 3b
+mid-size bandwidth advantage.  Sweeping the UPC++ runtime's threshold
+shows the design space: switching too late leaves mid-size transfers on
+the CPU-driven FMA path (lower bandwidth); switching too early puts tiny
+transfers on the DMA engine (startup-dominated).
+"""
+
+import numpy as np
+
+import repro.upcxx as upcxx
+from repro.bench.harness import save_table, size_fmt
+from repro.upcxx.costs import UpcxxCosts
+from repro.util.records import BenchTable
+from repro.util.units import KiB, MiB
+
+
+def _flood_bw(threshold: int, size: int, iters: int = 60) -> float:
+    out = {}
+    costs = UpcxxCosts(bte_threshold=threshold)
+
+    def body():
+        me = upcxx.rank_me()
+        landing = upcxx.new_array(np.uint8, size)
+        dest = upcxx.broadcast(landing, root=1).wait()
+        upcxx.barrier()
+        if me == 0:
+            payload = bytes(size)
+            p = upcxx.Promise()
+            t0 = upcxx.sim_now()
+            for i in range(iters):
+                upcxx.rput(payload, dest, cx=upcxx.operation_cx.as_promise(p))
+                if not (i % 10):
+                    upcxx.progress()
+            p.finalize().wait()
+            out["bw"] = size * iters / (upcxx.sim_now() - t0)
+        upcxx.barrier()
+
+    upcxx.run_spmd(body, 2, ppn=1, costs=costs, segment_size=64 * MiB)
+    return out["bw"]
+
+
+def test_bte_threshold_sweep(run_once):
+    def sweep():
+        table = BenchTable(
+            title="Ablation: flood bandwidth vs FMA->BTE switch threshold",
+            x_name="transfer size",
+            y_name="GiB/s",
+        )
+        for threshold, label in [(1 * KiB, "switch@1KiB"), (4 * KiB, "switch@4KiB (default)"), (64 * KiB, "switch@64KiB")]:
+            s = table.new_series(label)
+            for size in [2 * KiB, 8 * KiB, 32 * KiB, 256 * KiB]:
+                s.add(size, _flood_bw(threshold, size) / float(1 << 30))
+        return table
+
+    table = run_once(sweep)
+    print("\n" + save_table(table, "ablation_bte_threshold", x_fmt=size_fmt, y_fmt=lambda y: f"{y:.3f}"))
+
+    # a late switch (64KiB) strands 8-32KiB transfers on the FMA path
+    late = table.get("switch@64KiB")
+    default = table.get("switch@4KiB (default)")
+    assert default.y_at(8 * KiB) > late.y_at(8 * KiB) * 1.15
+    assert default.y_at(32 * KiB) > late.y_at(32 * KiB) * 1.15
+    # all choices converge for large transfers
+    assert abs(default.y_at(256 * KiB) - late.y_at(256 * KiB)) / default.y_at(256 * KiB) < 0.05

@@ -1,0 +1,67 @@
+"""Ablation — RPC-only DHT vs the RMA landing-zone DHT (§IV-C).
+
+The paper introduces the landing-zone design to "improve the performance
+for larger value sizes by taking advantage of the zero-copy RMA".  This
+ablation sweeps the value size: for small values the single-round-trip
+RPC-only insert wins; past a crossover the two-step RPC+rput insert wins
+because the value bytes skip both serialization copies.
+"""
+
+import repro.upcxx as upcxx
+from repro.apps.dht import DhtRmaLz, DhtRpcOnly
+from repro.bench.harness import save_table, size_fmt
+from repro.util.records import BenchTable
+from repro.util.units import KiB
+
+SIZES = [64, 512, 4 * KiB, 32 * KiB, 256 * KiB]
+N_INSERTS = 12
+
+
+def _insert_time(cls, vsize: int) -> float:
+    out = {}
+
+    def body():
+        dht = cls()
+        upcxx.barrier()
+        if upcxx.rank_me() == 0:
+            keys = [k for k in range(10_000) if dht.target_of(k) == 1][: N_INSERTS + 1]
+            val = bytes(vsize)
+            dht.insert(keys[0], val).wait()  # warm-up
+            t0 = upcxx.sim_now()
+            for k in keys[1:]:
+                dht.insert(k, val).wait()
+            out["t"] = (upcxx.sim_now() - t0) / N_INSERTS
+        upcxx.barrier()
+
+    upcxx.run_spmd(body, 2, ppn=1, segment_size=64 * 1024 * 1024)
+    return out["t"]
+
+
+def run_ablation() -> BenchTable:
+    table = BenchTable(
+        title="Ablation: DHT insert latency, RPC-only vs RPC+RMA landing zone",
+        x_name="value size",
+        y_name="us/insert",
+    )
+    s_rpc = table.new_series("RPC-only")
+    s_rma = table.new_series("RPC+RMA")
+    for vs in SIZES:
+        s_rpc.add(vs, _insert_time(DhtRpcOnly, vs) * 1e6)
+        s_rma.add(vs, _insert_time(DhtRmaLz, vs) * 1e6)
+    return table
+
+
+def test_rma_landing_zone_wins_for_large_values(run_once):
+    table = run_once(run_ablation)
+    print("\n" + save_table(table, "ablation_dht_variants", x_fmt=size_fmt, y_fmt=lambda y: f"{y:.2f}"))
+
+    rpc = table.get("RPC-only")
+    rma = table.get("RPC+RMA")
+    # small values: one round trip beats two
+    assert rpc.y_at(64) < rma.y_at(64)
+    # large values: zero-copy RMA wins (the paper's motivation)
+    assert rma.y_at(256 * KiB) < rpc.y_at(256 * KiB)
+    # there is exactly one crossover in the sweep
+    signs = [rma.y_at(s) - rpc.y_at(s) for s in SIZES]
+    flips = sum(1 for a, b in zip(signs, signs[1:]) if (a > 0) != (b > 0))
+    assert flips == 1

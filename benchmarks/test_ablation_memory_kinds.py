@@ -1,0 +1,74 @@
+"""Ablation — memory kinds: the paper's §VI future work, measured.
+
+``upcxx::copy`` between host and device memories across ranks.  The
+device path stages through a PCIe-class link, so device-touching copies
+pay extra latency and are capped by the staging bandwidth; host-host
+copies ride the NIC alone.  This is the experiment the paper promises
+("express transfers to and from other memories such as that of GPUs").
+"""
+
+import numpy as np
+
+import repro.upcxx as upcxx
+from repro.bench.harness import save_table, size_fmt
+from repro.util.records import BenchTable
+from repro.util.units import KiB, MiB
+
+SIZES = [1 * KiB, 16 * KiB, 256 * KiB, 2 * MiB]
+
+
+def _copy_time(src_kind: str, dst_kind: str, nbytes: int, iters: int = 8) -> float:
+    out = {}
+    n = nbytes // 8
+
+    def body():
+        me = upcxx.rank_me()
+        dev = upcxx.Device(segment_size=max(64 * MiB, 4 * nbytes))
+        host = upcxx.new_array(np.float64, n)
+        devp = dev.allocate(np.float64, n)
+        hosts = [upcxx.broadcast(host, root=r).wait() for r in range(2)]
+        devs = [upcxx.broadcast(devp, root=r).wait() for r in range(2)]
+        upcxx.barrier()
+        if me == 0:
+            src = hosts[0] if src_kind == "host" else devs[0]
+            dst = hosts[1] if dst_kind == "host" else devs[1]
+            upcxx.copy(src, dst).wait()  # warm-up
+            t0 = upcxx.sim_now()
+            for _ in range(iters):
+                upcxx.copy(src, dst).wait()
+            out["t"] = (upcxx.sim_now() - t0) / iters
+        upcxx.barrier()
+
+    upcxx.run_spmd(body, 2, ppn=1, segment_size=max(64 * MiB, 4 * nbytes))
+    return out["t"]
+
+
+def test_memory_kinds_bandwidth(run_once):
+    def sweep():
+        table = BenchTable(
+            title="Ablation: upcxx::copy bandwidth by memory kinds (rank 0 -> rank 1)",
+            x_name="size",
+            y_name="GiB/s",
+        )
+        for src_kind, dst_kind in [("host", "host"), ("host", "device"), ("device", "device")]:
+            s = table.new_series(f"{src_kind}->{dst_kind}")
+            for nbytes in SIZES:
+                t = _copy_time(src_kind, dst_kind, nbytes)
+                s.add(nbytes, nbytes / t / float(1 << 30))
+        return table
+
+    table = run_once(sweep)
+    print("\n" + save_table(table, "ablation_memory_kinds", x_fmt=size_fmt, y_fmt=lambda y: f"{y:.3f}"))
+
+    hh = table.get("host->host")
+    hd = table.get("host->device")
+    dd = table.get("device->device")
+    for s in SIZES:
+        # any device endpoint costs bandwidth vs pure host
+        assert hd.y_at(s) < hh.y_at(s)
+        # two PCIe crossings cost more than one
+        assert dd.y_at(s) <= hd.y_at(s) * 1.02
+    # large copies approach the PCIe bandwidth cap when a device is involved
+    top = SIZES[-1]
+    assert hd.y_at(top) < 12.5  # pcie_bw = 12 GiB/s
+    assert hh.y_at(top) > hd.y_at(top) * 0.8  # host path is NIC-bound (~10 GiB/s)

@@ -1,0 +1,81 @@
+"""Ablation — attentiveness: progress frequency in the flood loop.
+
+The paper's flood listing calls ``upcxx::progress()`` every 10 injections
+"to amortize the cost of progress while keeping completion processing off
+the critical path".  This ablation sweeps the interval: too frequent wastes
+CPU per injection; the cost is small either way because compQ work is
+cheap — but a target rank that never progresses stalls *incoming* RPCs
+indefinitely (the attentiveness hazard of §III), which is also asserted.
+"""
+
+import numpy as np
+
+import repro.upcxx as upcxx
+from repro.bench.harness import save_table
+from repro.util.records import BenchTable
+
+
+def _flood_bw(progress_every: int, size: int = 1024, iters: int = 200) -> float:
+    out = {}
+
+    def body():
+        me = upcxx.rank_me()
+        landing = upcxx.new_array(np.uint8, size)
+        dest = upcxx.broadcast(landing, root=1).wait()
+        upcxx.barrier()
+        if me == 0:
+            payload = bytes(size)
+            p = upcxx.Promise()
+            t0 = upcxx.sim_now()
+            for i in range(iters):
+                upcxx.rput(payload, dest, cx=upcxx.operation_cx.as_promise(p))
+                if progress_every and not (i % progress_every):
+                    upcxx.progress()
+            p.finalize().wait()
+            out["bw"] = size * iters / (upcxx.sim_now() - t0)
+        upcxx.barrier()
+
+    upcxx.run_spmd(body, 2, ppn=1, segment_size=8 * 1024 * 1024)
+    return out["bw"]
+
+
+def test_progress_interval_sweep(run_once):
+    def sweep():
+        table = BenchTable(
+            title="Ablation: flood bandwidth vs progress interval (1KiB puts)",
+            x_name="progress every N injections",
+            y_name="GiB/s",
+        )
+        s = table.new_series("UPC++ flood")
+        for k in [1, 2, 10, 50, 0]:  # 0 = only at the final wait
+            s.add(k if k else "end-only", _flood_bw(k) / float(1 << 30))
+        return table
+
+    table = run_once(sweep)
+    print("\n" + save_table(table, "ablation_progress", y_fmt=lambda y: f"{y:.3f}"))
+    s = table.get("UPC++ flood")
+    # progressing every injection costs measurable bandwidth vs every 10
+    assert s.y_at(10) > s.y_at(1)
+    # deferring all completion processing to the end is fine for puts
+    # (NIC offload completes them without initiator attentiveness)
+    assert s.y_at("end-only") >= s.y_at(10) * 0.95
+
+
+def test_inattentive_target_stalls_rpc(run_once):
+    """The §III hazard: incoming RPCs wait for the target's user progress."""
+    stall = {}
+
+    def body():
+        me = upcxx.rank_me()
+        upcxx.barrier()
+        if me == 0:
+            t0 = upcxx.sim_now()
+            upcxx.rpc(1, lambda: None).wait()
+            stall["rtt"] = upcxx.sim_now() - t0
+        else:
+            upcxx.compute(500e-6)  # long computation, no progress
+            upcxx.progress()
+        upcxx.barrier()
+
+    run_once(lambda: upcxx.run_spmd(body, 2, ppn=1))
+    assert stall["rtt"] > 400e-6  # dominated by the target's inattentiveness

@@ -1,0 +1,83 @@
+"""Ablation (§V-A) — the DHT insert under v0.1 vs v1.0 asynchrony.
+
+The paper argues the predecessor's insert "incurs both a blocking remote
+allocation and a blocking RMA, which negatively impact latency and overlap
+potential", while v1.0's future-chained insert is "simpler, streamlined,
+and fully asynchronous".  This ablation measures both effects:
+
+- single-insert latency: v0.1 pays two-and-a-half blocking round trips
+  (alloc RTT, put RTT, registration ack) vs v1.0's chained RPC + rput;
+- overlap: a batch of N pipelined v1.0 inserts (conjoined futures) vs N
+  serialized v0.1 inserts.
+"""
+
+import numpy as np
+
+import repro.upcxx as upcxx
+from repro.apps.dht import DhtRmaLz
+from repro.bench.harness import save_table
+from repro.upcxx_v01 import Event, allocate_remote, async_task
+from repro.util.records import BenchTable
+
+
+def _v01_register(dmap: upcxx.DistObject, key: int, gptr, length: int) -> None:
+    rt = upcxx.current_runtime()
+    rt.charge_sw(rt.cpu.map_insert)
+    dmap.value[key] = (gptr, length)
+
+
+def _v01_insert_blocking(dmap: upcxx.DistObject, target: int, key: int, val: bytes) -> None:
+    """The §V-A workflow: blocking remote alloc, blocking RMA, async+event."""
+    dest = allocate_remote(target, len(val))  # blocking round trip
+    upcxx.rput(val, dest).wait()  # blocking RMA
+    ev = Event()
+    async_task(target, _v01_register, dmap, key, dest, len(val), ack=ev)
+    ev.wait()
+
+
+def _measure(n_inserts: int, vsize: int, pipelined_v1: bool) -> dict:
+    out = {}
+
+    def body():
+        me = upcxx.rank_me()
+        dht = DhtRmaLz()
+        v01_map = upcxx.DistObject({})
+        upcxx.barrier()
+        val = bytes(vsize)
+        if me == 0:
+            # keys owned by rank 1 (force the remote path)
+            keys = [k for k in range(10_000) if dht.target_of(k) == 1][:n_inserts]
+
+            t0 = upcxx.sim_now()
+            if pipelined_v1:
+                upcxx.when_all(*[dht.insert(k, val) for k in keys]).wait()
+            else:
+                for k in keys:
+                    dht.insert(k, val).wait()
+            out["v1"] = upcxx.sim_now() - t0
+
+            t0 = upcxx.sim_now()
+            for k in keys:
+                _v01_insert_blocking(v01_map, 1, k + 100_000, val)
+            out["v01"] = upcxx.sim_now() - t0
+        upcxx.barrier()
+
+    upcxx.run_spmd(body, 2, ppn=1)
+    return out
+
+
+def test_v01_insert_latency_worse(run_once):
+    res = run_once(lambda: _measure(n_inserts=20, vsize=1024, pipelined_v1=False))
+    table = BenchTable(title="Ablation: DHT insert, v0.1 vs v1.0", x_name="variant", y_name="us/insert")
+    s = table.new_series("blocking inserts")
+    s.add("v1.0 chained", res["v1"] / 20 * 1e6)
+    s.add("v0.1 blocking", res["v01"] / 20 * 1e6)
+    print("\n" + save_table(table, "ablation_v01_dht_latency", y_fmt=lambda y: f"{y:.2f}"))
+    # v0.1 must be noticeably slower even one-at-a-time (extra blocking alloc RTT)
+    assert res["v01"] > res["v1"] * 1.2
+
+
+def test_v01_insert_no_overlap(run_once):
+    res = run_once(lambda: _measure(n_inserts=32, vsize=1024, pipelined_v1=True))
+    # pipelined v1.0 inserts overlap their round trips; v0.1 cannot
+    assert res["v01"] > res["v1"] * 2.5

@@ -1,0 +1,61 @@
+"""DHT lookup workload (the paper's footnote 8: "find can be similarly
+implemented using RPC").
+
+Weak-scales a find-heavy phase over a pre-populated table: inserts
+(untimed), then blocking lookups of randomly chosen keys.  Lookups cost
+one RPC plus one rget (landing-zone indirection), so their latency sits
+between an insert and a bare RPC — asserted against the insert numbers.
+"""
+
+import repro.upcxx as upcxx
+from repro.apps.dht import DhtRmaLz
+from repro.bench.harness import save_table
+from repro.util.records import BenchTable
+
+PROCS = [2, 8, 32]
+N_KEYS = 48
+VSIZE = 1024
+
+
+def _find_rate(n_procs: int) -> float:
+    out = {}
+
+    def body():
+        me = upcxx.rank_me()
+        dht = DhtRmaLz()
+        rng = upcxx.runtime_here().rng.spawn("findbench")
+        keys = [rng.key64() for _ in range(N_KEYS)]
+        upcxx.barrier()
+        for k in keys:  # population phase (untimed)
+            dht.insert(k, bytes(VSIZE)).wait()
+        upcxx.barrier()
+        t0 = upcxx.sim_now()
+        for k in keys:
+            got = dht.find(k).wait()
+            assert got is not None and len(got) == VSIZE
+        upcxx.barrier()
+        out["t"] = upcxx.sim_now() - t0
+
+    upcxx.run_spmd(body, n_procs, segment_size=16 * 1024 * 1024)
+    return n_procs * N_KEYS / out["t"]
+
+
+def test_dht_find_weak_scaling(run_once):
+    def sweep():
+        table = BenchTable(
+            title=f"DHT find workload ({VSIZE}B values, {N_KEYS} lookups/rank)",
+            x_name="processes",
+            y_name="lookups/s (millions)",
+        )
+        s = table.new_series("blocking find")
+        for p in PROCS:
+            s.add(p, _find_rate(p) / 1e6)
+        return table
+
+    table = run_once(sweep)
+    print("\n" + save_table(table, "dht_find_workload", y_fmt=lambda y: f"{y:.4f}"))
+
+    s = table.get("blocking find")
+    # aggregate lookup rate scales with the process count
+    assert s.y_at(8) > s.y_at(2) * 2.5
+    assert s.y_at(32) > s.y_at(8) * 2.5

@@ -1,0 +1,37 @@
+"""Fig. 3a — round-trip put latency: UPC++ rput vs MPI-3 RMA put+flush.
+
+Paper claims asserted (§IV-B):
+- below 256 B, UPC++ latency is better than MPI RMA by more than 5% on
+  average;
+- from 256 to 1024 bytes the improvement averages more than 25%;
+- the latency advantage is present through at least 4 MiB.
+"""
+
+from repro.bench.harness import improvement, save_table, size_fmt
+from repro.bench.microbench import FIG3_SIZES, run_fig3a
+from repro.util.units import KiB, MiB
+
+
+def test_fig3a_put_latency(run_once):
+    table = run_once(lambda: run_fig3a())
+    text = save_table(table, "fig3a_put_latency", x_fmt=size_fmt, y_fmt=lambda y: f"{y:.3f}us")
+    print("\n" + text)
+
+    upcxx = table.get("UPC++ rput")
+    mpi = table.get("MPI RMA Put")
+
+    small = [s for s in FIG3_SIZES if s < 256]
+    imp_small = [improvement(mpi.y_at(s), upcxx.y_at(s)) for s in small]
+    assert sum(imp_small) / len(imp_small) > 0.05, "below 256B: >5% average improvement"
+
+    window = [s for s in FIG3_SIZES if 256 <= s <= 1024]
+    imp_window = [improvement(mpi.y_at(s), upcxx.y_at(s)) for s in window]
+    assert sum(imp_window) / len(imp_window) > 0.25, "256..1024B: >25% average improvement"
+
+    # advantage present at every measured size through 4 MiB
+    for s in FIG3_SIZES:
+        assert upcxx.y_at(s) <= mpi.y_at(s), f"UPC++ slower at {s}B"
+    assert 4 * MiB in FIG3_SIZES
+
+    # sanity: small-message round trip is microsecond-scale, not ms
+    assert 1.0 < upcxx.y_at(8) < 5.0

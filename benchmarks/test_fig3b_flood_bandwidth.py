@@ -1,0 +1,46 @@
+"""Fig. 3b — flood put bandwidth: UPC++ rput (promise cx) vs MPI RMA.
+
+Paper claims asserted (§IV-B):
+- bandwidths comparable for small and large sizes;
+- UPC++ ahead between 1 KiB and 256 KiB;
+- the difference is most pronounced at 8 KiB, where UPC++ delivers over
+  33% more bandwidth.
+"""
+
+from repro.bench.harness import save_table, size_fmt
+from repro.bench.microbench import FIG3_SIZES, run_fig3b
+from repro.util.units import KiB, MiB
+
+
+def test_fig3b_flood_bandwidth(run_once):
+    table = run_once(lambda: run_fig3b())
+    text = save_table(table, "fig3b_flood_bandwidth", x_fmt=size_fmt, y_fmt=lambda y: f"{y:.3f}")
+    print("\n" + text)
+
+    upcxx = table.get("UPC++ rput")
+    mpi = table.get("MPI RMA Put")
+
+    def ratio(s):
+        return upcxx.y_at(s) / mpi.y_at(s)
+
+    # comparable at the extremes (within ~15%)
+    for s in (8, 32, 128):
+        assert ratio(s) < 1.15, f"small sizes should be comparable, got {ratio(s):.2f} at {s}B"
+    for s in (1 * MiB, 4 * MiB):
+        assert ratio(s) < 1.05, f"large sizes should be comparable, got {ratio(s):.2f}"
+
+    # UPC++ ahead in the mid range
+    for s in (4 * KiB, 8 * KiB, 16 * KiB, 64 * KiB):
+        assert ratio(s) > 1.10, f"mid-size advantage missing at {s}B"
+
+    # most pronounced at 8 KiB, over 33%
+    r8k = ratio(8 * KiB)
+    assert r8k > 1.33, f"8KiB gap should exceed 33%, got {(r8k - 1) * 100:.1f}%"
+    for s in FIG3_SIZES:
+        if s != 8 * KiB:
+            assert ratio(s) <= r8k + 1e-9, f"gap at {s}B exceeds the 8KiB peak"
+
+    # bandwidth is monotone nondecreasing in size for both stacks
+    for series in (upcxx, mpi):
+        for a, b in zip(series.ys, series.ys[1:]):
+            assert b >= a * 0.98

@@ -1,0 +1,31 @@
+"""Fig. 4b — DHT insert weak scaling on simulated Cori KNL.
+
+Same methodology as Fig. 4a with the KNL node geometry (68 ranks/node)
+and CPU model.  Additional cross-platform claim: per-process throughput on
+KNL is below Haswell's (the slower serial core shows up in the local map
+work and runtime software paths), as the paper's two panels show.
+"""
+
+from repro.bench.dht_bench import FIG4_PROCS, FIG4_VALUE_SIZES, dht_insert_rate, run_fig4
+from repro.bench.harness import save_table
+
+
+def test_fig4b_dht_weak_scaling_knl(run_once):
+    table = run_once(lambda: run_fig4(platform="knl"))
+    text = save_table(table, "fig4b_dht_knl", y_fmt=lambda y: f"{y:.1f}")
+    print("\n" + text)
+
+    for vs in FIG4_VALUE_SIZES:
+        s = table.get(f"{vs}B values")
+        assert s.y_at(2) < s.y_at(1)
+        pts = [p for p in FIG4_PROCS if p >= 2]
+        for a, b in zip(pts, pts[1:]):
+            assert s.y_at(b) > s.y_at(a) * 1.4, f"{vs}B: poor scaling {a}->{b}"
+
+
+def test_knl_slower_than_haswell_per_process(run_once):
+    vs = 2048
+    knl, haswell = run_once(
+        lambda: (dht_insert_rate(16, vs, platform="knl"), dht_insert_rate(16, vs, platform="haswell"))
+    )
+    assert knl < haswell

@@ -1,0 +1,34 @@
+"""Fig. 8 (right) — extend-add strong scaling on simulated Cori KNL.
+
+Same sweep with the KNL model (64 ranks/node, slower serial core).  The
+paper's right panel shows the same ordering with higher absolute times —
+both asserted here.
+"""
+
+from repro.bench.eadd_bench import FIG8_PROCS, eadd_times, run_fig8, speedup_at_scale
+from repro.bench.harness import save_table
+
+
+def test_fig8_eadd_strong_scaling_knl(run_once):
+    table = run_once(lambda: run_fig8(platform="knl"))
+    top = FIG8_PROCS[-1]
+    sp = speedup_at_scale(table, top)
+    extra = (
+        f"UPC++ speedup at {top} procs: {sp['vs_alltoallv']:.2f}x vs Alltoallv, "
+        f"{sp['vs_p2p']:.2f}x vs P2P"
+    )
+    text = save_table(table, "fig8_eadd_knl", y_fmt=lambda y: f"{y * 1e3:.3f}ms", extra=extra)
+    print("\n" + text)
+
+    upcxx = table.get("UPC++ RPC")
+    assert upcxx.y_at(top) < table.get("MPI P2P").y_at(top)
+    assert upcxx.y_at(top) < table.get("MPI Alltoallv").y_at(top)
+    assert sp["vs_alltoallv"] > 1.4
+
+
+def test_knl_slower_than_haswell_absolute(run_once):
+    knl, haswell = run_once(
+        lambda: (eadd_times(16, platform="knl"), eadd_times(16, platform="haswell"))
+    )
+    for variant in knl:
+        assert knl[variant] > haswell[variant]

@@ -1,0 +1,39 @@
+"""Fig. 9 — symPACK strong scaling: UPC++ v0.1 vs v1.0.
+
+Paper claims asserted (§IV-D-4):
+- the two implementations perform nearly identically (the paper reports a
+  0.7% average difference and up to 7.2% advantage for v1.0; our proxy
+  lands in the same band);
+- the v1.0 port incurs no measurable added overhead (v1.0 never slower);
+- both strong-scale robustly over the sweep.
+"""
+
+from repro.bench.harness import save_table
+from repro.bench.sympack_bench import FIG9_PROCS, average_difference, run_fig9
+
+
+def test_fig9_sympack_v01_vs_v10(run_once):
+    table = run_once(lambda: run_fig9(platform="haswell"))
+    avg = average_difference(table)
+    extra = f"average |v1.0 - v0.1| / v0.1 across job sizes: {avg * 100:.2f}%"
+    text = save_table(table, "fig9_sympack", y_fmt=lambda y: f"{y * 1e3:.3f}ms", extra=extra)
+    print("\n" + text)
+
+    v01 = table.get("UPC++ v0.1")
+    v1 = table.get("UPC++ v1.0")
+
+    # nearly identical across all job sizes
+    assert avg < 0.10, f"versions diverged: {avg * 100:.1f}% average difference"
+    for p in FIG9_PROCS:
+        assert abs(v1.y_at(p) - v01.y_at(p)) / v01.y_at(p) < 0.15
+
+    # the new framework adds no measurable overhead (never slower)
+    for p in FIG9_PROCS:
+        assert v1.y_at(p) <= v01.y_at(p) * 1.01
+
+    # robust strong scaling for both versions
+    first, last = FIG9_PROCS[0], FIG9_PROCS[-1]
+    ideal = last / first
+    for s in (v01, v1):
+        speedup = s.y_at(first) / s.y_at(last)
+        assert speedup > 0.6 * ideal, f"poor strong scaling: {speedup:.1f}x of {ideal}x"

@@ -1,0 +1,31 @@
+"""Companion microbenchmarks — rget and RPC latency next to rput.
+
+Not a figure in the paper, but the natural completion of its §IV-B
+methodology (the paper's DHT analysis §IV-C depends on the RPC round trip
+being a couple of times the rput round trip — asserted here).
+"""
+
+from repro.bench.harness import save_table, size_fmt
+from repro.bench.microbench import run_micro_companions
+
+
+def test_micro_rget_rpc_latency(run_once):
+    table = run_once(lambda: run_micro_companions())
+    print("\n" + save_table(table, "micro_rget_rpc", x_fmt=size_fmt, y_fmt=lambda y: f"{y:.3f}us"))
+
+    put = table.get("rput")
+    get = table.get("rget")
+    rpc = table.get("rpc (view payload)")
+
+    for s in put.xs:
+        # a get pays the request leg before data can flow: never faster
+        # than the put at the same size
+        assert get.y_at(s) >= put.y_at(s) * 0.98
+        # an RPC adds injection + dispatch + reply software on top of the
+        # wire round trip: strictly slower than both RMA primitives
+        assert rpc.y_at(s) > put.y_at(s)
+        assert rpc.y_at(s) > get.y_at(s) * 0.98
+
+    # small-message RPC round trip lands in the few-microsecond range the
+    # paper's DHT latency analysis presumes
+    assert 2.0 < rpc.y_at(8) < 10.0

@@ -1,0 +1,78 @@
+"""Benchmark — team-parallel (2-D block-cyclic) front factorization.
+
+symPACK/STRUMPACK-class solvers parallelize *within* fronts, not only
+across the tree.  On a single large dense front (the regime where flops
+~n³ dominate panel traffic ~n²) the 2-D kernel must beat the lead-only
+factorization and keep improving with team size; answers stay verified
+against scipy throughout.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+import repro.upcxx as upcxx
+from repro.apps.sparse.numeric import build_cholesky_plan, factor_and_solve
+from repro.apps.sparse.numeric2d import build_cholesky_2d_plan, factor_and_solve_2d
+from repro.bench.harness import save_table
+from repro.util.records import BenchTable
+
+GRID = (8, 8, 8)  # one dense 512-column front (leaf_size > n)
+LEAF = 10_000
+PROCS = [1, 2, 4, 8]
+
+
+def _run(runner, plan, b, n_procs):
+    out = {}
+
+    def body():
+        upcxx.barrier()
+        t0 = upcxx.sim_now()
+        x = runner(plan, b)
+        upcxx.barrier()
+        out["t"] = upcxx.sim_now() - t0
+        out["x"] = x
+
+    upcxx.run_spmd(body, n_procs, max_time=1e7)
+    return out["t"], out["x"]
+
+
+def test_2d_front_factorization_scaling(run_once):
+    def sweep():
+        table = BenchTable(
+            title="Dense 512-col front: lead-only vs 2-D team-parallel factorization",
+            x_name="processes",
+            y_name="time (ms)",
+        )
+        s_lead = table.new_series("lead-only")
+        s_2d = table.new_series("2-D block-cyclic")
+        rng = np.random.default_rng(23)
+        checks = []
+        for p in PROCS:
+            b = rng.standard_normal(512)
+            plan1 = build_cholesky_plan(*GRID, n_procs=p, leaf_size=LEAF)
+            t1, x1 = _run(factor_and_solve, plan1, b, p)
+            plan2 = build_cholesky_2d_plan(*GRID, n_procs=p, leaf_size=LEAF, block=64)
+            t2, x2 = _run(factor_and_solve_2d, plan2, b, p)
+            s_lead.add(p, t1 * 1e3)
+            s_2d.add(p, t2 * 1e3)
+            checks.append((plan1.a, b, x1, x2))
+        table.meta = checks  # type: ignore[attr-defined]
+        return table
+
+    table = run_once(sweep)
+    print("\n" + save_table(table, "numeric_2d_fronts", y_fmt=lambda y: f"{y:.3f}"))
+
+    for a, b, x1, x2 in table.meta:  # type: ignore[attr-defined]
+        ref = spla.spsolve(sp.csc_matrix(a), b)
+        assert np.allclose(x1, ref, atol=1e-7)
+        assert np.allclose(x2, ref, atol=1e-7)
+
+    lead = table.get("lead-only")
+    two_d = table.get("2-D block-cyclic")
+    # lead-only cannot use extra ranks on a single front
+    assert lead.y_at(8) > lead.y_at(1) * 0.9
+    # the 2-D kernel scales the dense factorization
+    assert two_d.y_at(8) < two_d.y_at(1) / 2.5
+    assert two_d.y_at(8) < lead.y_at(8) / 2.5

@@ -1,0 +1,73 @@
+"""Benchmark — the *numeric* distributed multifrontal Cholesky.
+
+Beyond the paper's timed skeleton (Fig. 9), this factors a real SPD system
+and solves it, verifying the answer against scipy while measuring strong
+scaling of the tree-parallel factorization.  Tree parallelism alone cannot
+scale past the (serialized) top separators — Amdahl along the root path —
+so the expected shape is: good speedup at small P, saturating beyond;
+the assertion encodes exactly that.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+import repro.upcxx as upcxx
+from repro.apps.sparse.numeric import build_cholesky_plan, factor_and_solve
+from repro.bench.harness import save_table
+from repro.util.records import BenchTable
+
+GRID = (8, 8, 6)
+PROCS = [1, 2, 4, 8]
+
+
+def _factor_time(n_procs: int, plan, b) -> float:
+    times = {}
+
+    def body():
+        upcxx.barrier()
+        t0 = upcxx.sim_now()
+        x = factor_and_solve(plan, b)
+        upcxx.barrier()
+        if upcxx.rank_me() == 0:
+            times["t"] = upcxx.sim_now() - t0
+            times["x"] = x
+
+    upcxx.run_spmd(body, n_procs, max_time=1e7)
+    return times["t"], times["x"]
+
+
+def test_numeric_cholesky_scaling(run_once):
+    def sweep():
+        table = BenchTable(
+            title="Numeric multifrontal Cholesky: factor+solve strong scaling",
+            x_name="processes",
+            y_name="time (ms)",
+        )
+        s = table.new_series("factor+solve")
+        rng = np.random.default_rng(11)
+        ref = {}
+        for p in PROCS:
+            plan = build_cholesky_plan(*GRID, n_procs=p, leaf_size=16)
+            b = rng.standard_normal(plan.n)
+            t, x = _factor_time(p, plan, b)
+            s.add(p, t * 1e3)
+            ref[p] = (plan, b, x)
+        table.meta = ref  # type: ignore[attr-defined]
+        return table
+
+    table = run_once(sweep)
+    print("\n" + save_table(table, "numeric_cholesky", y_fmt=lambda y: f"{y:.3f}"))
+
+    # numerical correctness at every scale
+    for p, (plan, b, x) in table.meta.items():  # type: ignore[attr-defined]
+        expect = spla.spsolve(sp.csc_matrix(plan.a), b)
+        assert np.allclose(x, expect, atol=1e-7), f"wrong answer at P={p}"
+
+    s = table.get("factor+solve")
+    # tree parallelism helps at small scale...
+    assert s.y_at(2) < s.y_at(1)
+    assert s.y_at(4) < s.y_at(2)
+    # ...but saturates along the serialized root path (Amdahl)
+    assert s.y_at(8) > s.y_at(1) / 8

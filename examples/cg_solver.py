@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Distributed Conjugate Gradient demo.
+
+Solves a 3-D Poisson problem with the row-distributed CG of
+`repro.apps.linalg`: one-sided halo fetches per SpMV, `reduce_all` dot
+products, and a final residual check — the canonical PGAS numerical
+workload, end to end on 8 simulated ranks.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+import repro.upcxx as upcxx
+from repro.apps.linalg import DistSparseMatrix, cg_solve
+from repro.apps.linalg.cg import gather_solution
+from repro.apps.sparse.matrices import laplacian_3d
+
+GRID = (8, 8, 4)
+
+
+def main():
+    me = upcxx.rank_me()
+    a = laplacian_3d(*GRID)
+    n = a.shape[0]
+    rng = np.random.default_rng(2026)
+    b = rng.standard_normal(n)
+
+    da = DistSparseMatrix(a)
+    t0 = upcxx.sim_now()
+    x_local, iters = cg_solve(da, b[da.lo : da.hi], tol=1e-10)
+    dt = upcxx.sim_now() - t0
+    x = gather_solution(da, x_local)
+
+    if me == 0:
+        res = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+        halo_ranks = len(da.halo)
+        print(f"{GRID[0]}x{GRID[1]}x{GRID[2]} Poisson ({n} dofs) on {upcxx.rank_n()} ranks")
+        print(f"CG converged in {iters} iterations, relative residual {res:.2e}")
+        print(f"rank 0 exchanged halos with {halo_ranks} neighbor(s)")
+        print(f"simulated solve time: {dt * 1e3:.3f} ms "
+              f"({upcxx.runtime_here().n_rgets} one-sided gets by rank 0)")
+    upcxx.barrier()
+
+
+if __name__ == "__main__":
+    upcxx.run_spmd(main, ranks=8, platform="haswell", max_time=1e7)
+    print("cg_solver finished.")

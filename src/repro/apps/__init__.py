@@ -1,0 +1,1 @@
+"""Application motifs from the paper's evaluation (§IV-C, §IV-D)."""

@@ -1,0 +1,17 @@
+"""Distributed dense/sparse linear-algebra applications over UPC++.
+
+Classic PGAS workloads exercising the library's full surface on realistic
+numerical kernels:
+
+- :mod:`repro.apps.linalg.cg` — row-distributed sparse matrix-vector
+  products with one-sided halo exchange, driving a Conjugate Gradient
+  solver (dot products via ``reduce_all``);
+- :mod:`repro.apps.linalg.samplesort` — distributed sample sort: splitter
+  selection by regular sampling, key exchange by one RPC per destination,
+  local merges.
+"""
+
+from repro.apps.linalg.cg import DistSparseMatrix, cg_solve
+from repro.apps.linalg.samplesort import sample_sort
+
+__all__ = ["DistSparseMatrix", "cg_solve", "sample_sort"]

@@ -1,0 +1,45 @@
+"""Sparse multifrontal solver components (paper §IV-D).
+
+The paper's second motif is the *extend-add* operation of multifrontal
+sparse solvers, benchmarked on SuiteSparse matrices extracted through
+STRUMPACK.  Neither the matrices nor STRUMPACK are available offline, so
+this package builds the full substrate from scratch (see DESIGN.md §2):
+
+- :mod:`matrices` — synthetic SPD problems (3-D Laplacians, FEM-like
+  proxies for ``audikw_1`` and ``Flan_1565``);
+- :mod:`ordering` — geometric nested dissection producing the separator
+  tree;
+- :mod:`elimtree` — Liu's elimination-tree algorithm (general matrices)
+  plus postorder utilities;
+- :mod:`symbolic` — bottom-up symbolic factorization: per-front column and
+  border (row) structure;
+- :mod:`propmap` — the proportional-mapping heuristic assigning process
+  teams to fronts;
+- :mod:`frontal` — 2-D block-cyclic distributed frontal matrices;
+- :mod:`extend_add` — the three benchmarked variants: UPC++ RPC (views +
+  promise counting), MPI Alltoallv, MPI point-to-point;
+- :mod:`sympack` — a simplified symPACK-style multifrontal Cholesky
+  skeleton runnable over UPC++ v1.0 or the v0.1 emulation (Fig. 9).
+"""
+
+from repro.apps.sparse.matrices import laplacian_3d, proxy_audikw, proxy_flan
+from repro.apps.sparse.ordering import DissectionNode, nested_dissection_3d
+from repro.apps.sparse.elimtree import elimination_tree, postorder
+from repro.apps.sparse.symbolic import FrontSymbolic, symbolic_from_dissection
+from repro.apps.sparse.propmap import proportional_mapping
+from repro.apps.sparse.frontal import BlockCyclic, FrontInstance
+
+__all__ = [
+    "laplacian_3d",
+    "proxy_audikw",
+    "proxy_flan",
+    "DissectionNode",
+    "nested_dissection_3d",
+    "elimination_tree",
+    "postorder",
+    "FrontSymbolic",
+    "symbolic_from_dissection",
+    "proportional_mapping",
+    "BlockCyclic",
+    "FrontInstance",
+]

@@ -1,0 +1,239 @@
+"""Supernodal symbolic analysis for *general* SPD matrices.
+
+The geometric path (:mod:`ordering` + :mod:`symbolic`) only covers grid
+problems.  This module builds the same :class:`FrontSymbolic` structures
+for an **arbitrary** SPD matrix under any fill-reducing permutation, the
+way general sparse solvers do:
+
+1. elimination tree of A(perm, perm)  (Liu's algorithm, :mod:`elimtree`);
+2. per-column nonzero structure of the Cholesky factor L, computed
+   bottom-up (``struct(j) = A_below(j) ∪ ⋃_children struct(c)\\{c}``);
+3. **fundamental supernodes**: maximal runs of consecutive columns
+   ``j, j+1`` with ``parent[j] == j+1`` and
+   ``struct(j)\\{j} == {j+1} ∪ struct(j+1)`` — each supernode becomes one
+   frontal matrix (cols = the run, border = struct of the last column);
+4. optional **relaxed amalgamation**: absorb small supernodes into their
+   parents when the extra fill stays below a budget, trading flops for
+   fewer/larger fronts (the standard engineering knob).
+
+The resulting front dict is drop-in compatible with
+:mod:`propmap`, :mod:`numeric`, and :mod:`numeric2d`, so the full
+distributed solver runs on any SPD input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.apps.sparse.elimtree import elimination_tree, postorder
+from repro.apps.sparse.symbolic import FrontSymbolic
+
+
+def column_structures(a: sp.spmatrix, parent: np.ndarray) -> List[set]:
+    """Nonzero row structure of each column of L (strictly below diagonal).
+
+    Bottom-up union over the elimination tree; O(Σ|struct|) time/memory —
+    fine at the problem sizes the simulator runs.
+    """
+    a = sp.csc_matrix(a)
+    n = a.shape[0]
+    struct: List[set] = [set() for _ in range(n)]
+    for j in postorder(parent):
+        s = {int(i) for i in a.indices[a.indptr[j] : a.indptr[j + 1]] if i > j}
+        for c in _children_of(parent, j):
+            s |= struct[c] - {j}
+        struct[j] = s
+        # (children sets could be freed here; kept for supernode detection)
+    return struct
+
+
+def _children_of(parent: np.ndarray, j: int) -> List[int]:
+    # cached lazily on the array object to stay O(n) overall
+    cache = getattr(parent, "_children_cache", None)
+    if cache is None:
+        cache = [[] for _ in range(len(parent))]
+        for k, p in enumerate(parent):
+            if p != -1:
+                cache[p].append(k)
+        try:
+            parent._children_cache = cache  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+    return cache[j]
+
+
+def fundamental_supernodes(parent: np.ndarray, struct: List[set]) -> List[List[int]]:
+    """Partition columns into maximal fundamental supernodes (postorder)."""
+    n = len(parent)
+    po = list(postorder(parent))
+    pos = {int(j): k for k, j in enumerate(po)}
+    supernodes: List[List[int]] = []
+    current: List[int] = []
+    for j in po:
+        if current:
+            prev = current[-1]
+            mergeable = (
+                parent[prev] == j
+                and pos[int(j)] == pos[prev] + 1
+                and struct[prev] - {j} == struct[j]
+                and len(_children_of(parent, j)) == 1
+            )
+            if mergeable:
+                current.append(int(j))
+                continue
+            supernodes.append(current)
+        current = [int(j)]
+    if current:
+        supernodes.append(current)
+    return supernodes
+
+
+def _supernode_tree(
+    parent: np.ndarray, supernodes: List[List[int]]
+) -> Tuple[Dict[int, int], Dict[int, List[int]]]:
+    """Parent/children links between supernodes (ids = list positions)."""
+    of_col = {}
+    for sid, cols in enumerate(supernodes):
+        for c in cols:
+            of_col[c] = sid
+    sn_parent: Dict[int, int] = {}
+    sn_children: Dict[int, List[int]] = {sid: [] for sid in range(len(supernodes))}
+    for sid, cols in enumerate(supernodes):
+        p = parent[cols[-1]]
+        sn_parent[sid] = of_col[int(p)] if p != -1 else -1
+        if p != -1:
+            sn_children[of_col[int(p)]].append(sid)
+    return sn_parent, sn_children
+
+
+def amalgamate(
+    supernodes: List[List[int]],
+    sn_parent: Dict[int, int],
+    struct: List[set],
+    max_extra_fill: int = 0,
+) -> List[List[int]]:
+    """Relaxed amalgamation: absorb a supernode into its parent when the
+    union front would add at most ``max_extra_fill`` extra entries.
+
+    ``max_extra_fill=0`` keeps fundamental supernodes unchanged.
+    """
+    if max_extra_fill <= 0:
+        return supernodes
+    sns = [list(s) for s in supernodes]
+    parent_of = dict(sn_parent)
+    absorbed: Dict[int, int] = {}  # child sid -> surviving sid
+
+    def find(sid: int) -> int:
+        while sid in absorbed:
+            sid = absorbed[sid]
+        return sid
+
+    for sid in range(len(sns)):
+        p = parent_of.get(sid, -1)
+        if p == -1:
+            continue
+        p = find(p)
+        child_cols, parent_cols = sns[sid], sns[p]
+        if not child_cols or not parent_cols:
+            continue
+        child_front = len(child_cols) + len(
+            set().union(*(struct[c] for c in child_cols)) - set(child_cols)
+        )
+        parent_front = len(parent_cols) + len(
+            set().union(*(struct[c] for c in parent_cols)) - set(parent_cols)
+        )
+        merged = len(child_cols) + parent_front
+        # explicit-zero entries the merge introduces (the child's columns
+        # grow from its own front height to the merged front height)
+        extra = len(child_cols) * max(0, merged - child_front)
+        if extra <= max_extra_fill:
+            sns[p] = sorted(child_cols + parent_cols)
+            sns[sid] = []
+            absorbed[sid] = p
+    return [s for s in sns if s]
+
+
+def symbolic_general(
+    a: sp.spmatrix,
+    perm: Optional[Sequence[int]] = None,
+    max_extra_fill: int = 0,
+) -> Tuple[Dict[int, FrontSymbolic], np.ndarray]:
+    """Full supernodal symbolic analysis of a general SPD matrix.
+
+    Returns ``(fronts, elim_pos)`` where fronts are keyed by postorder
+    supernode id (children < parent, root last) and ``elim_pos[v]`` is
+    vertex v's elimination position — the exact contract the numeric
+    solvers expect.  ``perm`` orders the matrix (identity if None); front
+    ``cols``/``border`` are expressed in *original* vertex ids.
+    """
+    a = sp.csr_matrix(a)
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"matrix must be square, got {a.shape}")
+    perm = np.arange(n) if perm is None else np.asarray(perm)
+    ap = sp.csc_matrix(a[perm, :][:, perm])
+
+    parent = elimination_tree(ap)
+    struct = column_structures(ap, parent)
+    sns = fundamental_supernodes(parent, struct)
+    sn_parent, _ = _supernode_tree(parent, sns)
+    sns = amalgamate(sns, sn_parent, struct, max_extra_fill)
+    sn_parent, sn_children = _supernode_tree(parent, sns)
+
+    # order supernodes so children precede parents and ids are contiguous
+    order: List[int] = []
+    roots = [sid for sid in range(len(sns)) if sn_parent.get(sid, -1) == -1]
+    for root in sorted(roots):
+        stack = [(root, 0)]
+        while stack:
+            sid, ci = stack.pop()
+            kids = sorted(sn_children.get(sid, []))
+            if ci < len(kids):
+                stack.append((sid, ci + 1))
+                stack.append((kids[ci], 0))
+            else:
+                order.append(sid)
+    new_id = {sid: k for k, sid in enumerate(order)}
+
+    elim_pos = np.empty(n, dtype=np.int64)
+    for v_new, v_orig in enumerate(perm):
+        elim_pos[v_orig] = v_new
+
+    inv = np.asarray(perm)  # permuted index -> original vertex id
+    fronts: Dict[int, FrontSymbolic] = {}
+    for sid in order:
+        cols_p = sorted(sns[sid])  # permuted indices == elimination positions
+        # union over all columns: exact for fundamental supernodes, and the
+        # correct (padded) row set for amalgamated ones
+        border_p = sorted(set().union(*(struct[c] for c in cols_p)) - set(cols_p))
+        # sanity: fundamental property — the first column's structure
+        # covers the whole supernode's update rows
+        fronts[new_id[sid]] = FrontSymbolic(
+            node_id=new_id[sid],
+            cols=np.asarray([int(inv[c]) for c in cols_p], dtype=np.int64),
+            border=np.asarray([int(inv[b]) for b in border_p], dtype=np.int64),
+            children=[new_id[c] for c in sorted(sn_children.get(sid, []))],
+            parent=new_id[sn_parent[sid]] if sn_parent.get(sid, -1) != -1 else -1,
+        )
+    return fronts, elim_pos
+
+
+def build_cholesky_plan_general(
+    a: sp.spmatrix,
+    n_procs: int,
+    perm: Optional[Sequence[int]] = None,
+    max_extra_fill: int = 0,
+):
+    """A :class:`~repro.apps.sparse.numeric.CholeskyPlan` for any SPD A."""
+    from repro.apps.sparse.numeric import CholeskyPlan
+    from repro.apps.sparse.propmap import proportional_mapping
+
+    fronts, elim_pos = symbolic_general(a, perm, max_extra_fill)
+    teams = proportional_mapping(fronts, n_procs)
+    owner = {nid: team[0] for nid, team in teams.items()}
+    return CholeskyPlan(
+        a=sp.csr_matrix(a), fronts=fronts, owner=owner, elim_pos=elim_pos, n_procs=n_procs
+    )

@@ -1,0 +1,69 @@
+"""Active Messages: typed envelopes and per-rank inboxes.
+
+An AM carries an opaque payload plus a client-layer handler tag from a
+source to a destination rank.  The conduit appends arriving messages to the
+destination's :class:`AMInbox` at wire-arrival time and wakes the rank;
+the message's *handler runs only when the destination polls* (the paper's
+attentiveness requirement — a rank buried in computation stalls incoming
+RPCs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class AMMessage:
+    """One active message as it sits in an inbox."""
+
+    src: int
+    dst: int
+    #: client-layer dispatch tag (e.g. "upcxx.rpc", "mpi.eager")
+    tag: str
+    #: opaque payload object (already-serialized bytes or a token structure)
+    payload: Any
+    #: payload size in bytes as it traveled on the wire
+    nbytes: int
+    #: simulated arrival time at the destination NIC
+    arrival: float = 0.0
+    #: optional client-layer correlation token (reply routing)
+    token: Any = None
+    meta: dict = field(default_factory=dict)
+
+
+class AMInbox:
+    """A destination rank's queue of arrived-but-unprocessed AMs."""
+
+    __slots__ = ("rank", "_queue", "n_received", "n_polled")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._queue: deque = deque()
+        self.n_received = 0
+        self.n_polled = 0
+
+    def deliver(self, msg: AMMessage) -> None:
+        """Append an arrived message (network context)."""
+        self._queue.append(msg)
+        self.n_received += 1
+
+    def poll(self, now: float) -> Optional[AMMessage]:
+        """Pop the oldest message that has arrived by ``now`` (rank context).
+
+        Arrival times are nondecreasing in the queue (FIFO wire per pair and
+        global event ordering), so checking the head suffices.
+        """
+        if self._queue and self._queue[0].arrival <= now:
+            self.n_polled += 1
+            return self._queue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def has_due(self, now: float) -> bool:
+        """Whether a message is ready to be processed at time ``now``."""
+        return bool(self._queue) and self._queue[0].arrival <= now

@@ -1,0 +1,403 @@
+"""The conduit: GASNet-EX-style data movement over the simulated wire.
+
+The conduit owns per-rank *endpoints* (shared segment + AM inbox + NIC
+injection state) and implements the four hardware services the paper's
+runtime consumes:
+
+- ``put_nb``   — one-sided RMA put with NIC offload; the handle completes
+  when the remote commit has been acknowledged (GASNet "remote completion",
+  which is what a blocking ``upcxx::rput(...).wait()`` observes).
+- ``get_nb``   — one-sided RMA get; the handle carries the fetched bytes.
+- ``am_send``  — active message; delivered into the destination inbox at
+  wire arrival (waking the destination if it is blocked), *executed* only
+  when the destination polls.  The handle completes at source-side
+  injection completion (buffer reusable).
+- ``amo``      — remote atomic, NIC-offloaded: the update applies at the
+  target segment at arrival time with **no target CPU involvement**,
+  mirroring Aries hardware atomics (paper §II).
+
+Timing: each endpoint's NIC serializes injections (``occupancy``); wire
+latency is added per the machine topology (intra-node transfers take the
+shared-memory path).  The conduit charges **no software CPU time** — the
+client layer (UPC++ or MPI) charges its own per-operation software costs,
+because that is precisely where the two stacks differ in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.gasnet.am import AMInbox, AMMessage
+from repro.gasnet.handle import Handle
+from repro.gasnet.machine import Machine
+from repro.gasnet.network import NetworkModel, PATH_FMA
+from repro.gasnet.segment import Segment
+from repro.sim.coop import Scheduler
+
+
+class _Endpoint:
+    """Per-rank conduit state."""
+
+    __slots__ = (
+        "rank",
+        "segment",
+        "device_segment",
+        "inbox",
+        "nic_free_at",
+        "pcie_free_at",
+        "n_puts",
+        "n_gets",
+        "n_ams",
+        "n_amos",
+        "bytes_out",
+    )
+
+    def __init__(self, rank: int, segment_size: int):
+        self.rank = rank
+        self.segment = Segment(segment_size, owner_rank=rank)
+        #: GPU segment, created on demand by ensure_device_segment
+        self.device_segment = None
+        self.inbox = AMInbox(rank)
+        self.nic_free_at = 0.0
+        #: host<->device link occupancy (one transfer at a time)
+        self.pcie_free_at = 0.0
+        self.n_puts = 0
+        self.n_gets = 0
+        self.n_ams = 0
+        self.n_amos = 0
+        self.bytes_out = 0
+
+
+#: atomic ops supported by the simulated NIC (name -> (applies, returns_old))
+_AMO_OPS = {
+    "add",
+    "fetch_add",
+    "put",
+    "get",
+    "cas",
+    "min",
+    "max",
+    "bit_and",
+    "bit_or",
+    "bit_xor",
+}
+
+
+class Conduit:
+    """All endpoints of one job plus the wire model gluing them together."""
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        machine: Machine,
+        network: NetworkModel,
+        segment_size: int = 32 * 1024 * 1024,
+    ):
+        if machine.n_ranks < sched.n_ranks:
+            raise ValueError(
+                f"machine has {machine.n_ranks} slots but job has {sched.n_ranks} ranks"
+            )
+        self.sched = sched
+        self.machine = machine
+        self.network = network
+        self.endpoints = [_Endpoint(r, segment_size) for r in range(sched.n_ranks)]
+
+    # -------------------------------------------------------------- accessors
+    def segment(self, rank: int) -> Segment:
+        return self.endpoints[rank].segment
+
+    def inbox(self, rank: int) -> AMInbox:
+        return self.endpoints[rank].inbox
+
+    # --------------------------------------------------------- device memory
+    def ensure_device_segment(self, rank: int, size: int) -> Segment:
+        """Create (once) and return ``rank``'s GPU segment."""
+        ep = self.endpoints[rank]
+        if ep.device_segment is None:
+            ep.device_segment = Segment(size, owner_rank=rank)
+        return ep.device_segment
+
+    def device_segment(self, rank: int) -> Segment:
+        ep = self.endpoints[rank]
+        if ep.device_segment is None:
+            raise RuntimeError(f"rank {rank} has no device segment (create a Device first)")
+        return ep.device_segment
+
+    def segment_of(self, rank: int, kind: str) -> Segment:
+        """Segment lookup by memory kind."""
+        if kind == "host":
+            return self.endpoints[rank].segment
+        if kind == "device":
+            return self.device_segment(rank)
+        raise ValueError(f"unknown memory kind {kind!r}")
+
+    def pcie_transfer(self, rank: int, nbytes: int, start: float) -> float:
+        """Schedule one host<->device staging transfer on ``rank``'s PCIe
+        link; returns the completion time (the link serializes transfers)."""
+        ep = self.endpoints[rank]
+        begin = max(start, ep.pcie_free_at)
+        done = begin + self.network.pcie_time(nbytes)
+        ep.pcie_free_at = done
+        return done
+
+    # ------------------------------------------------------------ wire timing
+    def _inject(self, src: int, dst: int, nbytes: int, path: str, start: float, occ_scale: float = 1.0):
+        """Schedule one wire transfer; returns (injection_done, arrival).
+
+        ``occ_scale`` multiplies the injection occupancy; client layers use
+        values > 1 to model software pipelines that under-drive the NIC
+        (e.g. Cray MPICH's mid-size RMA path in the paper's Fig. 3b).
+        """
+        if occ_scale <= 0:
+            raise ValueError(f"occ_scale must be positive, got {occ_scale}")
+        ep = self.endpoints[src]
+        same = self.machine.same_node(src, dst)
+        begin = max(start, ep.nic_free_at)
+        occ = self.network.occupancy(nbytes, path, same) * occ_scale
+        ep.nic_free_at = begin + occ
+        ep.bytes_out += nbytes
+        arrival = begin + occ + self.network.latency(same)
+        return begin + occ, arrival
+
+    # ------------------------------------------------------------------- put
+    def put_nb(
+        self,
+        src: int,
+        dst: int,
+        dst_off: int,
+        data,
+        path: str = PATH_FMA,
+        occ_scale: float = 1.0,
+        on_remote_commit: Optional[Callable[[float], None]] = None,
+    ) -> Handle:
+        """One-sided put of ``data`` into ``dst``'s segment at ``dst_off``.
+
+        Rank context (must be called by rank ``src``).  The returned handle
+        completes at ack time (remote commit acknowledged).
+        ``on_remote_commit``, if given, fires in network context at the
+        instant the bytes land in the target segment (used for UPC++
+        ``remote_cx::as_rpc`` piggybacking).
+        """
+        data = bytes(data)
+        nbytes = len(data)
+        now = self.sched.now()
+        ep = self.endpoints[src]
+        ep.n_puts += 1
+        handle = Handle(f"put {src}->{dst} {nbytes}B")
+        _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
+        same = self.machine.same_node(src, dst)
+        ack_latency = self.network.latency(same)
+        dst_seg = self.endpoints[dst].segment
+
+        def commit_and_ack():
+            dst_seg.write(dst_off, data)
+            if on_remote_commit is not None:
+                on_remote_commit(arrival)
+            self.sched.post_at(arrival + ack_latency, lambda: handle.complete(arrival + ack_latency))
+
+        self.sched.post_at(arrival, commit_and_ack)
+        return handle
+
+    # ------------------------------------------------------------------- get
+    def get_nb(
+        self,
+        src: int,
+        dst: int,
+        dst_off: int,
+        nbytes: int,
+        path: str = PATH_FMA,
+        occ_scale: float = 1.0,
+    ) -> Handle:
+        """One-sided get of ``nbytes`` from ``dst``'s segment at ``dst_off``.
+
+        The handle completes when the data lands back at ``src``; the bytes
+        are available as ``handle.data``.
+        """
+        now = self.sched.now()
+        ep = self.endpoints[src]
+        ep.n_gets += 1
+        handle = Handle(f"get {src}<-{dst} {nbytes}B")
+        # request: small control message
+        _, req_arrival = self._inject(src, dst, self.network.header_bytes, PATH_FMA, now)
+        dst_ep = self.endpoints[dst]
+        same = self.machine.same_node(src, dst)
+
+        def service_request():
+            # The destination NIC reads memory and streams the reply; no
+            # destination CPU is involved (true RDMA read).
+            data = dst_ep.segment.read(dst_off, nbytes)
+            begin = max(req_arrival, dst_ep.nic_free_at)
+            occ = self.network.occupancy(nbytes, path, same) * occ_scale
+            dst_ep.nic_free_at = begin + occ
+            back = begin + occ + self.network.latency(same)
+            self.sched.post_at(back, lambda: handle.complete(back, data=data))
+
+        self.sched.post_at(req_arrival, service_request)
+        return handle
+
+    # -------------------------------------------------------------------- AM
+    def am_send(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Any,
+        nbytes: int,
+        path: str = PATH_FMA,
+        token: Any = None,
+        meta: Optional[dict] = None,
+        occ_scale: float = 1.0,
+    ) -> Handle:
+        """Send an active message; handle completes at source injection end.
+
+        The destination is woken at arrival so a rank blocked in ``wait()``
+        (user-level progress) can process the message; a rank that is busy
+        computing will only see it at its next progress call.
+        """
+        now = self.sched.now()
+        ep = self.endpoints[src]
+        ep.n_ams += 1
+        handle = Handle(f"am {src}->{dst} {tag} {nbytes}B")
+        inj_done, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
+        msg = AMMessage(
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            arrival=arrival,
+            token=token,
+            meta=dict(meta) if meta else {},
+        )
+        inbox = self.endpoints[dst].inbox
+
+        def deliver():
+            inbox.deliver(msg)
+            self.sched.wake(dst, arrival)
+
+        self.sched.post_at(arrival, deliver)
+        self.sched.post_at(inj_done, lambda: handle.complete(inj_done))
+        return handle
+
+    # ------------------------------------------------------------- accumulate
+    def accumulate_nb(
+        self,
+        src: int,
+        dst: int,
+        dst_off: int,
+        data,
+        dtype,
+        op: str = "+",
+        path: str = PATH_FMA,
+        occ_scale: float = 1.0,
+    ) -> Handle:
+        """Element-wise remote accumulate (MPI_Accumulate-class operation).
+
+        The update applies at the target at arrival time with no target CPU
+        (modeling the NIC/async-agent path Cray MPICH uses for passive
+        target accumulates).  The handle completes at ack time.
+        """
+        if op not in ("+", "max", "min", "replace"):
+            raise ValueError(f"unsupported accumulate op {op!r}")
+        dt = np.dtype(dtype)
+        arr = np.ascontiguousarray(np.asarray(data, dtype=dt))
+        nbytes = arr.nbytes
+        now = self.sched.now()
+        ep = self.endpoints[src]
+        ep.n_amos += 1
+        handle = Handle(f"acc {op} {src}->{dst} {nbytes}B")
+        _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
+        same = self.machine.same_node(src, dst)
+        ack_latency = self.network.latency(same)
+        seg = self.endpoints[dst].segment
+
+        def apply_and_ack():
+            cells = seg.view(dst_off, dt, len(arr))
+            if op == "+":
+                cells += arr
+            elif op == "max":
+                np.maximum(cells, arr, out=cells)
+            elif op == "min":
+                np.minimum(cells, arr, out=cells)
+            else:  # replace
+                cells[:] = arr
+            done = arrival + ack_latency
+            self.sched.post_at(done, lambda: handle.complete(done))
+
+        self.sched.post_at(arrival, apply_and_ack)
+        return handle
+
+    # ------------------------------------------------------------------- AMO
+    def amo(
+        self,
+        src: int,
+        dst: int,
+        dst_off: int,
+        op: str,
+        dtype,
+        operands: tuple = (),
+    ) -> Handle:
+        """NIC-offloaded remote atomic on one element at ``dst_off``.
+
+        Supported ops: add, fetch_add, put, get, cas, min, max, bit_and,
+        bit_or, bit_xor.  The handle completes when the result returns to
+        the initiator; fetching ops expose the prior value via
+        ``handle.data``.
+        """
+        if op not in _AMO_OPS:
+            raise ValueError(f"unsupported atomic op {op!r}")
+        dt = np.dtype(dtype)
+        now = self.sched.now()
+        ep = self.endpoints[src]
+        ep.n_amos += 1
+        handle = Handle(f"amo {op} {src}->{dst}")
+        _, arrival = self._inject(src, dst, dt.itemsize + self.network.header_bytes, PATH_FMA, now)
+        same = self.machine.same_node(src, dst)
+        back_latency = self.network.latency(same)
+        seg = self.endpoints[dst].segment
+
+        def apply():
+            cell = seg.view(dst_off, dt, 1)
+            old = cell[0].item()
+            if op in ("add", "fetch_add"):
+                cell[0] = old + operands[0]
+            elif op == "put":
+                cell[0] = operands[0]
+            elif op == "get":
+                pass
+            elif op == "cas":
+                expected, desired = operands
+                if old == expected:
+                    cell[0] = desired
+            elif op == "min":
+                cell[0] = min(old, operands[0])
+            elif op == "max":
+                cell[0] = max(old, operands[0])
+            elif op == "bit_and":
+                cell[0] = old & operands[0]
+            elif op == "bit_or":
+                cell[0] = old | operands[0]
+            elif op == "bit_xor":
+                cell[0] = old ^ operands[0]
+            done = arrival + back_latency
+            self.sched.post_at(done, lambda: handle.complete(done, data=old))
+
+        self.sched.post_at(arrival, apply)
+        return handle
+
+    # ------------------------------------------------------------------ misc
+    def wake_on(self, handle: Handle, rank: int) -> None:
+        """Convenience: wake ``rank`` when ``handle`` completes."""
+        handle.on_complete(lambda h: self.sched.wake(rank, h.time_done))
+
+    def stats(self) -> dict:
+        """Aggregate counters across endpoints."""
+        return {
+            "puts": sum(e.n_puts for e in self.endpoints),
+            "gets": sum(e.n_gets for e in self.endpoints),
+            "ams": sum(e.n_ams for e in self.endpoints),
+            "amos": sum(e.n_amos for e in self.endpoints),
+            "bytes_out": sum(e.bytes_out for e in self.endpoints),
+        }

@@ -1,0 +1,53 @@
+"""Completion handles for conduit operations.
+
+A :class:`Handle` is GASNet's notification object: the conduit marks it
+complete (in network context) at the simulated instant the operation's
+completion condition is met, and runs any attached callbacks.  Client
+layers attach callbacks that move runtime bookkeeping forward (e.g. the
+UPC++ runtime promotes the operation's promise from *actQ* to *compQ*) and
+wake the owning rank if it is blocked in ``wait()``.
+
+Callbacks run with the scheduler lock held — they must be cheap,
+non-blocking, and must not execute user code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+
+class Handle:
+    """One in-flight conduit operation's completion state."""
+
+    __slots__ = ("op", "done", "time_done", "_callbacks", "data")
+
+    def __init__(self, op: str = "op"):
+        self.op = op
+        self.done = False
+        self.time_done: Optional[float] = None
+        self._callbacks: List[Callable[["Handle"], None]] = []
+        #: payload slot (e.g. bytes fetched by a get)
+        self.data = None
+
+    def on_complete(self, fn: Callable[["Handle"], None]) -> None:
+        """Attach a network-context callback; fires immediately if done."""
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def complete(self, time: float, data=None) -> None:
+        """Mark complete at simulated ``time`` (network context only)."""
+        if self.done:
+            raise RuntimeError(f"handle {self.op!r} completed twice")
+        self.done = True
+        self.time_done = time
+        if data is not None:
+            self.data = data
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"done@{self.time_done}" if self.done else "pending"
+        return f"<Handle {self.op} {state}>"

@@ -1,0 +1,34 @@
+"""repro.mpisim — a Cray-MPICH-like MPI baseline over the same conduit.
+
+The paper compares UPC++ against MPI three ways: MPI-3 one-sided RMA
+(Fig. 3), ``MPI_Alltoallv``, and ``Isend/Irecv`` point-to-point (Fig. 8).
+This package provides those APIs over the **identical** simulated network
+and CPU models, differing from :mod:`repro.upcxx` only in the software
+structure MPI imposes:
+
+- two-sided matching (eager copies below the rendezvous threshold,
+  RTS/CTS handshakes above it — requiring both sides to progress);
+- passive-target RMA windows whose puts carry extra software overhead, a
+  protocol-switch penalty window at small-mid sizes, and a mid-size
+  pipeline inefficiency (the documented source of the paper's Fig. 3b
+  bandwidth gap);
+- collectives that couple all ranks of the communicator (pairwise-exchange
+  ``Alltoallv`` costs Θ(P) rounds even when almost all pairs are empty).
+
+API style follows mpi4py: lowercase methods move Python objects.
+"""
+
+from repro.mpisim.profile import MpiCosts, DEFAULT_MPI_COSTS
+from repro.mpisim.request import Request
+from repro.mpisim.comm import Communicator, run_mpi, comm_world
+from repro.mpisim.rma import Win
+
+__all__ = [
+    "MpiCosts",
+    "DEFAULT_MPI_COSTS",
+    "Request",
+    "Communicator",
+    "run_mpi",
+    "comm_world",
+    "Win",
+]

@@ -1,0 +1,443 @@
+"""Cooperative SPMD runtime over the discrete-event engine.
+
+Every simulated process (*rank*) executes its user function on a dedicated
+OS thread, written in ordinary blocking style.  A conservative scheduler
+enforces the invariant that **exactly one entity runs at any instant**, and
+that it is always the entity with the globally minimal simulated timestamp:
+
+- a *rank* with the smallest local clock among ready ranks, or
+- a pending *network event* (conduit delivery, completion) that is due no
+  later than any ready rank.
+
+Rank code interacts with the scheduler through four primitives:
+
+``charge(dt)``
+    advance my simulated clock by ``dt`` seconds of CPU work, yielding the
+    baton if someone else is now earlier;
+``post(delay, fn)`` / ``post_at(t, fn)``
+    schedule a network-context callback (runs with the scheduler lock held,
+    must not block or call user code);
+``block(reason)``
+    go to sleep until some event calls ``wake`` for me (spurious wake-ups
+    are allowed — callers re-check their predicate);
+``wake(rank, at_time)``
+    make a blocked rank runnable, advancing its clock to at least
+    ``at_time`` (network-context only).
+
+Because events fire in deterministic (time, insertion) order and ranks are
+resumed in deterministic (clock, rank) order, an entire simulation is a
+pure function of its inputs and seed.  The GIL plus the baton discipline
+mean library state needs no further locking: there is never true
+concurrency between ranks or between a rank and an event callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Callable, List, Optional, Sequence
+
+from repro.sim.engine import EventQueue
+from repro.sim.errors import DeadlockError, RankFailure, SimAbort, SimError
+from repro.util.trace import TraceBuffer
+
+# Rank states
+_NEW = 0
+_READY = 1
+_RUNNING = 2
+_BLOCKED = 3
+_DONE = 4
+
+_STATE_NAMES = {_NEW: "NEW", _READY: "READY", _RUNNING: "RUNNING", _BLOCKED: "BLOCKED", _DONE: "DONE"}
+
+_tls = threading.local()
+
+# Modest stacks: simulated ranks are shallow (library calls only), and jobs
+# may create hundreds of rank threads.
+_STACK_BYTES = 512 * 1024
+
+
+class _RankCtl:
+    """Per-rank control block (scheduler internals)."""
+
+    __slots__ = (
+        "rid",
+        "state",
+        "clock",
+        "cond",
+        "thread",
+        "result",
+        "block_reason",
+        "ready_stamp",
+        "env",
+        "pending_wake",
+    )
+
+    def __init__(self, rid: int, lock: threading.RLock):
+        self.rid = rid
+        self.state = _NEW
+        self.clock = 0.0
+        self.cond = threading.Condition(lock)
+        self.thread: Optional[threading.Thread] = None
+        self.result = None
+        self.block_reason = ""
+        self.ready_stamp = 0
+        self.env: dict = {}
+        #: wake timestamps received while not blocked (sticky wakes);
+        #: consumed by block() to prevent lost wakeups when events destined
+        #: for this rank fire at *future* timestamps while another
+        #: (later-clocked) rank drains the event queue
+        self.pending_wake: list = []
+
+
+class Scheduler:
+    """The global conservative scheduler for one SPMD job."""
+
+    def __init__(self, n_ranks: int, trace: Optional[TraceBuffer] = None, max_time: float = 1e6):
+        if n_ranks < 1:
+            raise ValueError(f"need at least 1 rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self._lock = threading.RLock()
+        self._events = EventQueue()
+        self._ranks: List[_RankCtl] = [_RankCtl(r, self._lock) for r in range(n_ranks)]
+        self._ready: list = []  # heap of (clock, rid, stamp)
+        self._main_cond = threading.Condition(self._lock)
+        self._failure: Optional[BaseException] = None
+        self._n_done = 0
+        self._running = False
+        self.trace = trace if trace is not None else TraceBuffer(enabled=False)
+        self.max_time = max_time
+        self.env: dict = {}  # upper layers stash per-job singletons here
+        self.switches = 0
+
+    # ------------------------------------------------------------------ intro
+    def _me(self) -> _RankCtl:
+        ctx = getattr(_tls, "ctx", None)
+        if ctx is None or ctx[0] is not self:
+            raise SimError("not inside a rank thread of this scheduler")
+        return self._ranks[ctx[1]]
+
+    # ------------------------------------------------------------ rank context
+    def now(self) -> float:
+        """Current rank's simulated clock (seconds)."""
+        return self._me().clock
+
+    def rank_env(self, rid: Optional[int] = None) -> dict:
+        """Per-rank scratch dict for upper layers."""
+        if rid is None:
+            return self._me().env
+        return self._ranks[rid].env
+
+    def charge(self, dt: float) -> None:
+        """Advance my clock by ``dt`` seconds of simulated CPU time."""
+        if dt < 0:
+            raise ValueError(f"negative charge: {dt}")
+        me = self._me()
+        with self._lock:
+            self._check_abort()
+            me.clock += dt
+            if me.clock > self.max_time:
+                self._fail(SimError(f"simulated time exceeded max_time={self.max_time}"))
+                raise SimAbort()
+            self._checkpoint_locked(me)
+
+    def checkpoint(self) -> None:
+        """Deliver due events and yield if another entity is earlier.
+
+        Library code calls this at every synchronization-relevant point that
+        does not itself charge time.
+        """
+        me = self._me()
+        with self._lock:
+            self._check_abort()
+            self._checkpoint_locked(me)
+
+    def post(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a network-context callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        me = self._me()
+        with self._lock:
+            self._events.push(me.clock + delay, fn)
+
+    def post_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Schedule a network-context callback at absolute time ``t``.
+
+        Callable from network context (events posting follow-on events).
+        """
+        with self._lock:
+            self._events.push(t, fn)
+
+    def block(self, reason: str = "") -> None:
+        """Sleep until some event wakes me.  Spurious wake-ups possible."""
+        me = self._me()
+        with self._lock:
+            self._check_abort()
+            if me.pending_wake:
+                # Wakes targeted us while we were runnable.  Any in our
+                # past means state already changed: return immediately
+                # (spurious wake; the caller re-checks its predicate).
+                # Otherwise convert the earliest future one into a timer so
+                # we resume exactly then; later ones stay pending.
+                past = [t for t in me.pending_wake if t <= me.clock]
+                if past:
+                    me.pending_wake = [t for t in me.pending_wake if t > me.clock]
+                    return
+                t = min(me.pending_wake)
+                me.pending_wake.remove(t)
+                self._events.push(t, lambda: self.wake(me.rid, t))
+            me.state = _BLOCKED
+            me.block_reason = reason
+            self.trace.record(me.clock, me.rid, "block", reason)
+            self._dispatch_locked()
+            while me.state != _RUNNING:
+                me.cond.wait()
+            self._check_abort()
+            self.trace.record(me.clock, me.rid, "resume", reason)
+
+    def sleep(self, dt: float) -> None:
+        """Block for ``dt`` seconds of simulated time (pure delay)."""
+        me = self._me()
+        deadline = me.clock + dt
+        self.post(dt, lambda: self.wake(me.rid, deadline))
+        while me.clock < deadline:
+            self.block(f"sleep until {deadline}")
+        self.checkpoint()
+
+    # -------------------------------------------------------- network context
+    def wake(self, rid: int, at_time: float) -> None:
+        """Make rank ``rid`` runnable with clock >= ``at_time``.
+
+        Network-context only (the scheduler lock is already held because all
+        events run under it); also safe from rank context thanks to the
+        reentrant lock.
+        """
+        with self._lock:
+            ctl = self._ranks[rid]
+            if ctl.state == _BLOCKED:
+                if at_time > ctl.clock:
+                    ctl.clock = at_time
+                ctl.state = _READY
+                self._push_ready(ctl)
+            elif ctl.state in (_READY, _RUNNING):
+                # Sticky wake: the rank is runnable at an earlier clock and
+                # may block before reaching ``at_time``; remember every such
+                # wake so its next block() converts them into timers instead
+                # of sleeping forever (lost-wakeup guard).
+                ctl.pending_wake.append(at_time)
+            # DONE: nothing to do.
+
+    # ------------------------------------------------------------- internals
+    def _push_ready(self, ctl: _RankCtl) -> None:
+        ctl.ready_stamp += 1
+        heapq.heappush(self._ready, (ctl.clock, ctl.rid, ctl.ready_stamp))
+
+    def _peek_ready(self):
+        """Return (clock, ctl) of the earliest ready rank, or None."""
+        while self._ready:
+            clock, rid, stamp = self._ready[0]
+            ctl = self._ranks[rid]
+            if ctl.state != _READY or stamp != ctl.ready_stamp or clock != ctl.clock:
+                heapq.heappop(self._ready)  # stale entry
+                continue
+            return clock, ctl
+        return None
+
+    def _pop_ready(self) -> _RankCtl:
+        clock, ctl = self._peek_ready()  # type: ignore[misc]
+        heapq.heappop(self._ready)
+        return ctl
+
+    def _checkpoint_locked(self, me: _RankCtl) -> None:
+        # Deliver due events — but only those that are *globally* minimal:
+        # an event must never fire while a READY rank with an earlier clock
+        # has not yet executed up to the event's timestamp (it could still
+        # create causally-prior effects).  Blocked ranks do not gate firing:
+        # they cannot act until an event wakes them.
+        while True:
+            et = self._events.peek_time()
+            if et is None or et > me.clock:
+                break
+            top = self._peek_ready()
+            if top is not None and et > top[0]:
+                break  # an earlier rank must run first
+            _, fn = self._events.pop()
+            fn()
+        top = self._peek_ready()
+        if top is not None and top[0] < me.clock:
+            # Someone is earlier: yield.
+            me.state = _READY
+            self._push_ready(me)
+            self._dispatch_locked()
+            while me.state != _RUNNING:
+                me.cond.wait()
+            self._check_abort()
+
+    def _dispatch_locked(self) -> None:
+        """Hand the baton to the next entity.  Caller must not be RUNNING."""
+        while True:
+            if self._failure is not None:
+                self._abort_all_locked()
+                return
+            top = self._peek_ready()
+            et = self._events.peek_time()
+            if top is not None and (et is None or top[0] < et):
+                ctl = self._pop_ready()
+                ctl.state = _RUNNING
+                self.switches += 1
+                ctl.cond.notify()
+                return
+            if et is not None:
+                # Event is due first (ties go to events so deliveries at
+                # time t are visible to a rank resuming at time t).
+                _, fn = self._events.pop()
+                fn()
+                continue
+            # No ready ranks, no events.
+            if self._n_done == self.n_ranks:
+                self._main_cond.notify()
+                return
+            blocked = [
+                f"  rank {c.rid} (clock {c.clock:.9f}s): {c.block_reason or '<no reason>'}"
+                for c in self._ranks
+                if c.state == _BLOCKED
+            ]
+            self._fail(
+                DeadlockError(
+                    "simulation deadlock: no runnable ranks and no pending events.\n"
+                    + "\n".join(blocked)
+                )
+            )
+            return
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+        self._abort_all_locked()
+
+    def _abort_all_locked(self) -> None:
+        for ctl in self._ranks:
+            if ctl.state in (_BLOCKED, _READY):
+                ctl.state = _RUNNING  # so its wait-loop exits and aborts
+                ctl.cond.notify()
+        self._main_cond.notify()
+
+    def _check_abort(self) -> None:
+        if self._failure is not None:
+            raise SimAbort()
+
+    # ------------------------------------------------------------------- run
+    def _bootstrap(self, ctl: _RankCtl, fn: Callable[[int], object]) -> None:
+        _tls.ctx = (self, ctl.rid)
+        try:
+            with self._lock:
+                while ctl.state != _RUNNING:
+                    ctl.cond.wait()
+                if self._failure is not None:
+                    raise SimAbort()
+            ctl.result = fn(ctl.rid)
+        except SimAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            with self._lock:
+                if self._failure is None:
+                    failure = RankFailure(ctl.rid, f"{type(exc).__name__}: {exc}")
+                    failure.__cause__ = exc
+                    self._failure = failure
+                self._abort_all_locked()
+        finally:
+            _tls.ctx = None
+            with self._lock:
+                ctl.state = _DONE
+                self._n_done += 1
+                if self._failure is None:
+                    self._dispatch_locked()
+                else:
+                    self._main_cond.notify()
+
+    def run(self, fn: Callable[[int], object]) -> List[object]:
+        """Run ``fn(rank)`` on every rank to completion; return the results.
+
+        Raises :class:`RankFailure` if any rank raised, or
+        :class:`DeadlockError` if the simulation wedged.
+        """
+        if self._running:
+            raise SimError("Scheduler.run() is not reentrant")
+        self._running = True
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(_STACK_BYTES)
+        except (ValueError, RuntimeError):
+            pass
+        try:
+            for ctl in self._ranks:
+                ctl.thread = threading.Thread(
+                    target=self._bootstrap,
+                    args=(ctl, fn),
+                    name=f"simrank-{ctl.rid}",
+                    daemon=True,
+                )
+        finally:
+            try:
+                threading.stack_size(old_stack)
+            except (ValueError, RuntimeError):
+                pass
+
+        for ctl in self._ranks:
+            assert ctl.thread is not None
+            ctl.thread.start()
+
+        with self._lock:
+            for ctl in self._ranks:
+                ctl.state = _READY
+                self._push_ready(ctl)
+            self._dispatch_locked()
+            while self._n_done < self.n_ranks and self._failure is None:
+                self._main_cond.wait()
+
+        for ctl in self._ranks:
+            assert ctl.thread is not None
+            ctl.thread.join(timeout=30.0)
+
+        if self._failure is not None:
+            raise self._failure
+        return [ctl.result for ctl in self._ranks]
+
+    # ------------------------------------------------------------ diagnostics
+    def snapshot(self) -> str:
+        """Human-readable state of all ranks (for error messages/tests)."""
+        with self._lock:
+            lines = [
+                f"rank {c.rid}: {_STATE_NAMES[c.state]} clock={c.clock:.9f}"
+                + (f" [{c.block_reason}]" if c.state == _BLOCKED else "")
+                for c in self._ranks
+            ]
+            lines.append(f"pending events: {len(self._events)}; switches: {self.switches}")
+            return "\n".join(lines)
+
+
+def current_scheduler() -> Scheduler:
+    """The scheduler of the calling rank thread."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise SimError("no active simulation on this thread")
+    return ctx[0]
+
+
+def current_rank() -> int:
+    """The rank id of the calling rank thread."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise SimError("no active simulation on this thread")
+    return ctx[1]
+
+
+def run_spmd(
+    fn: Callable[[int], object],
+    n_ranks: int,
+    trace: Optional[TraceBuffer] = None,
+    max_time: float = 1e6,
+) -> Sequence[object]:
+    """Convenience wrapper: build a scheduler and run ``fn`` on every rank."""
+    sched = Scheduler(n_ranks, trace=trace, max_time=max_time)
+    return sched.run(fn)

@@ -1,0 +1,103 @@
+"""Top-level UPC++ entry points: starting SPMD regions and rank queries.
+
+``run_spmd(fn, ranks, platform=...)`` is the reproduction's analogue of
+launching an ``upcxx::init()``-ed executable under SLURM: it builds the
+simulated machine (nodes x procs-per-node of the chosen platform), the
+conduit, and one :class:`~repro.upcxx.runtime.Runtime` per rank, then runs
+``fn`` on every rank and returns the per-rank results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.gasnet.cpumodel import CpuModel, platform_cpu
+from repro.gasnet.machine import Machine
+from repro.gasnet.network import AriesNetwork, NetworkModel
+from repro.sim.coop import Scheduler, current_scheduler
+from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
+from repro.upcxx.errors import NotInSpmdError
+from repro.upcxx.runtime import Runtime, World, current_runtime
+
+#: default processes-per-node, matching the paper's configurations
+DEFAULT_PPN = {"haswell": 32, "knl": 68}
+
+
+def default_ppn(platform: str) -> int:
+    return DEFAULT_PPN.get(platform.lower(), 32)
+
+
+def run_spmd(
+    fn: Callable[[], object],
+    ranks: int,
+    platform: str = "haswell",
+    ppn: Optional[int] = None,
+    network: Optional[NetworkModel] = None,
+    cpu: Optional[CpuModel] = None,
+    costs: UpcxxCosts = DEFAULT_COSTS,
+    segment_size: int = 32 * 1024 * 1024,
+    seed: int = 0,
+    max_time: float = 1e6,
+) -> List[object]:
+    """Run ``fn`` as an SPMD program on ``ranks`` simulated processes.
+
+    Inside ``fn``, the full UPC++ API is available (``rank_me``, ``rput``,
+    ``rpc`` ...).  Returns the list of per-rank return values.
+    """
+    ppn = ppn if ppn is not None else default_ppn(platform)
+    machine = Machine.for_ranks(ranks, ppn, name=platform)
+    network = network if network is not None else AriesNetwork()
+    cpu = cpu if cpu is not None else platform_cpu(platform)
+    sched = Scheduler(ranks, max_time=max_time)
+    world = World(sched, machine, network, cpu, costs, segment_size, seed)
+
+    def bootstrap(rank: int):
+        rt = Runtime(world, rank)
+        sched.rank_env()["upcxx_rt"] = rt
+        sched.rank_env()["upcxx_world"] = world
+        try:
+            return fn()
+        finally:
+            sched.rank_env().pop("upcxx_rt", None)
+
+    return sched.run(bootstrap)
+
+
+# ----------------------------------------------------------------- queries
+def rank_me() -> int:
+    """The calling rank's id (``upcxx::rank_me``)."""
+    return current_runtime().rank
+
+
+def rank_n() -> int:
+    """Total rank count (``upcxx::rank_n``)."""
+    return current_runtime().world.n_ranks
+
+
+def progress() -> None:
+    """User-level progress (``upcxx::progress``)."""
+    current_runtime().progress()
+
+
+def compute(seconds: float) -> None:
+    """Model ``seconds`` of application computation (no progress inside)."""
+    current_runtime().compute(seconds)
+
+
+def sim_now() -> float:
+    """Current simulated time on this rank (seconds)."""
+    return current_runtime().now()
+
+
+def in_spmd() -> bool:
+    """Whether the caller is inside a UPC++ SPMD region."""
+    try:
+        current_scheduler().rank_env()["upcxx_rt"]
+        return True
+    except Exception:
+        return False
+
+
+def runtime_here() -> Runtime:
+    """The calling rank's runtime (escape hatch for instrumentation)."""
+    return current_runtime()

@@ -1,0 +1,78 @@
+"""Completion objects: how an operation reports that it finished.
+
+Mirrors the UPC++ completion API used in the paper's benchmarks:
+
+- ``operation_cx.as_future()`` — the default; the injection call returns a
+  future readied at operation completion (during user progress).
+- ``operation_cx.as_promise(p)`` — registers a dependency on an existing
+  promise; completion retires it.  The paper's flood benchmark tracks many
+  puts with one promise this way.
+- ``remote_cx.as_rpc(fn, *args)`` — runs ``fn`` at the *target* once the
+  data has landed in target memory (supported by :func:`repro.upcxx.rma.rput`).
+
+An injection call receives one :class:`Completion`; :func:`resolve` turns
+it into the (promise, future-to-return) pair the runtime threads through
+the defQ/actQ/compQ machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.upcxx.future import Future, Promise
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A requested completion notification."""
+
+    kind: str  # "future" | "promise"
+    promise: Optional[Promise] = None
+    #: optional remote completion: (fn, args) executed at the target
+    remote_rpc: Optional[Tuple[Callable, tuple]] = field(default=None)
+
+    def with_remote_rpc(self, fn: Callable, *args) -> "Completion":
+        """Attach a remote_cx.as_rpc to this completion request."""
+        return Completion(kind=self.kind, promise=self.promise, remote_rpc=(fn, args))
+
+
+class operation_cx:
+    """Namespace mirroring ``upcxx::operation_cx``."""
+
+    @staticmethod
+    def as_future() -> Completion:
+        return Completion(kind="future")
+
+    @staticmethod
+    def as_promise(p: Promise) -> Completion:
+        return Completion(kind="promise", promise=p)
+
+
+class remote_cx:
+    """Namespace mirroring ``upcxx::remote_cx`` (remote completion only)."""
+
+    @staticmethod
+    def as_rpc(fn: Callable, *args) -> Completion:
+        # remote-only completion: no local future is produced
+        return Completion(kind="none", remote_rpc=(fn, args))
+
+
+def resolve(cx: Optional[Completion], rt) -> Tuple[Optional[Promise], Optional[Future]]:
+    """Normalize a completion request into (promise, returned future).
+
+    - ``None`` or as_future: fresh promise, future returned to caller.
+    - as_promise(p): register one dependency on ``p``; caller gets None.
+    - remote-only: no local tracking at all.
+    """
+    if cx is None or cx.kind == "future":
+        p = Promise(rt)
+        p.require_anonymous(1)  # the operation itself is one dependency
+        return p, p.finalize()
+    if cx.kind == "promise":
+        assert cx.promise is not None
+        cx.promise.require_anonymous(1)
+        return cx.promise, None
+    if cx.kind == "none":
+        return None, None
+    raise ValueError(f"unknown completion kind {cx.kind!r}")

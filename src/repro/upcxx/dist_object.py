@@ -1,0 +1,81 @@
+"""Distributed objects (``upcxx::dist_object<T>``).
+
+A dist_object is a *collective* object: every rank of a team constructs its
+own local representative, and the set of representatives shares one global
+id — ``(team uid, per-team creation index)`` — assigned by construction
+order (which UPC++ requires to be identical on all members; we inherit that
+contract).  No rank stores pointers to remote representatives, keeping the
+structure scalable (paper §II: distributed objects replace non-scalable
+symmetric heaps).
+
+Key behaviors reproduced:
+
+- passing a dist_object as an RPC argument ships only its id; the RPC body
+  receives the **target's** local representative;
+- if an RPC arrives before the target has constructed its representative,
+  the RPC is *deferred* until construction (UPC++ guarantee);
+- ``fetch(team_rank)`` retrieves a remote representative's value via RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.upcxx.future import Future
+from repro.upcxx.runtime import current_runtime
+from repro.upcxx.serialization import DistObjectRef
+from repro.upcxx.teams import Team
+
+
+class DistObject:
+    """One rank's representative of a team-distributed object."""
+
+    def __init__(self, value, team: Optional[Team] = None):
+        rt = current_runtime()
+        self.rt = rt
+        self.team = team if team is not None else rt.team_world()
+        self._value = value
+        index = rt.dist_creation_seq.get(self.team.uid, 0)
+        rt.dist_creation_seq[self.team.uid] = index + 1
+        self.index = index
+        self.key = (self.team.uid, index)
+        rt.charge_sw(rt.costs.dist_object_lookup)
+        if self.key in rt.dist_objects:
+            raise RuntimeError(f"dist_object id {self.key} registered twice on rank {rt.rank}")
+        rt.dist_objects[self.key] = self
+        # release RPCs that arrived before construction (UPC++ defers them)
+        for item in rt.dist_waiters.pop(self.key, []):
+            rt.enqueue_complete(item)
+
+    # ---------------------------------------------------------------- value
+    @property
+    def value(self):
+        """The local representative's value (``operator*``)."""
+        return self._value
+
+    @value.setter
+    def value(self, v):
+        self._value = v
+
+    def ref(self) -> DistObjectRef:
+        """The wire token for RPC argument translation."""
+        return DistObjectRef(self.team.uid, self.index)
+
+    def fetch(self, team_rank: int) -> Future:
+        """Future of the representative value on team rank ``team_rank``.
+
+        Explicit communication, per the paper's no-implicit-communication
+        principle (``dist_object::fetch``).
+        """
+        from repro.upcxx.rpc import rpc
+
+        target_world = self.team[team_rank]
+        return rpc(target_world, _fetch_value, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DistObject team={self.team.uid} idx={self.index}>"
+
+
+def _fetch_value(dobj: DistObject):
+    """RPC body for fetch: runs on the target with its representative."""
+    return dobj.value

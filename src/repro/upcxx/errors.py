@@ -1,0 +1,19 @@
+"""Exception types for the UPC++ layer."""
+
+from __future__ import annotations
+
+
+class UpcxxError(RuntimeError):
+    """Base class for UPC++-layer errors (misuse, not simulation faults)."""
+
+
+class NotInSpmdError(UpcxxError):
+    """A UPC++ API was called outside a running SPMD region."""
+
+
+class GlobalPtrError(UpcxxError):
+    """Invalid global-pointer operation (bad arithmetic, wrong owner...)."""
+
+
+class SerializationError(UpcxxError):
+    """An object could not be serialized for the wire."""

@@ -1,0 +1,111 @@
+"""Personas and local procedure calls (LPC).
+
+In UPC++ a *persona* represents a progress identity; every rank starts
+with its **master persona**, and LPCs enqueue work onto a persona's queue
+to be executed during that persona's user-level progress.  Our simulated
+ranks are single-threaded, so each rank has exactly its master persona —
+but the LPC mechanism itself is faithfully useful: it defers work into the
+progress engine (the §III compQ), which is how UPC++ code schedules
+"run this later, during progress, with a future for the result".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.upcxx.errors import UpcxxError
+from repro.upcxx.future import Future, Promise
+from repro.upcxx.runtime import CompQItem, Runtime, current_runtime
+
+
+class Persona:
+    """A progress identity (one master persona per simulated rank)."""
+
+    __slots__ = ("rt", "name")
+
+    def __init__(self, rt: Runtime, name: str = "master"):
+        self.rt = rt
+        self.name = name
+
+    @property
+    def rank(self) -> int:
+        return self.rt.rank
+
+    def lpc(self, fn: Callable, *args) -> Future:
+        """Enqueue ``fn(*args)`` onto this persona's progress queue.
+
+        Returns a future of the result, fulfilled when the function runs
+        during user-level progress (a following ``wait()``/``progress()``).
+        """
+        rt = self.rt
+        if rt is not current_runtime():
+            raise UpcxxError("LPC to another rank's persona: use rpc instead")
+        promise = Promise(rt)
+
+        def run():
+            result = fn(*args)
+            if isinstance(result, Future):
+                result._on_ready(lambda: promise.fulfill_result(*result._values))
+            elif result is None:
+                promise.fulfill_result()
+            else:
+                promise.fulfill_result(result)
+
+        rt.enqueue_complete(CompQItem(rt.cpu.t(rt.costs.then_dispatch), run, "lpc"))
+        return promise.get_future()
+
+    def lpc_ff(self, fn: Callable, *args) -> None:
+        """Fire-and-forget LPC (no future)."""
+        rt = self.rt
+        if rt is not current_runtime():
+            raise UpcxxError("LPC to another rank's persona: use rpc_ff instead")
+        rt.enqueue_complete(
+            CompQItem(rt.cpu.t(rt.costs.then_dispatch), lambda: fn(*args), "lpc_ff")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Persona {self.name} of rank {self.rank}>"
+
+
+def master_persona() -> Persona:
+    """The calling rank's master persona (``upcxx::master_persona``)."""
+    rt = current_runtime()
+    persona = rt.__dict__.get("_master_persona")
+    if persona is None:
+        persona = Persona(rt, "master")
+        rt.__dict__["_master_persona"] = persona
+    return persona
+
+
+def current_persona() -> Persona:
+    """The persona executing right now (single-threaded ranks: the master)."""
+    return master_persona()
+
+
+def lpc(fn: Callable, *args) -> Future:
+    """LPC onto the calling rank's master persona."""
+    return master_persona().lpc(fn, *args)
+
+
+def lpc_ff(fn: Callable, *args) -> None:
+    """Fire-and-forget LPC onto the calling rank's master persona."""
+    master_persona().lpc_ff(fn, *args)
+
+
+def progress_required() -> bool:
+    """Whether this rank has runtime work pending (``upcxx::progress_required``).
+
+    True when compQ holds unexecuted items, operations await injection, or
+    conduit completions await promotion.
+    """
+    rt = current_runtime()
+    if rt.compQ or rt.defQ or rt._gasnet_done:
+        return True
+    return rt.conduit.inbox(rt.rank).has_due(rt.sched.now())
+
+
+def discharge() -> None:
+    """Progress until no runtime work remains (``upcxx::discharge``)."""
+    rt = current_runtime()
+    while progress_required():
+        rt.progress()

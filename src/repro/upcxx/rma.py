@@ -1,0 +1,171 @@
+"""One-sided RMA: ``rput`` and ``rget``.
+
+Both are asynchronous by default (paper principle #1) and progress through
+the §III queues: the injection call charges the software injection cost,
+enqueues the operation on defQ, and internal progress hands it to the
+conduit (actQ).  When the conduit acknowledges remote completion, the next
+internal progress promotes the operation to compQ, and user progress
+fulfills its promise — running any chained ``.then`` callbacks.
+
+``rput`` optionally supports remote completion (``remote_cx.as_rpc``): the
+callback runs at the *target* after the bytes land, without a separate
+round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.gasnet.network import PATH_BTE, PATH_FMA
+from repro.upcxx import serialization
+from repro.upcxx.completion import Completion, resolve
+from repro.upcxx.errors import GlobalPtrError
+from repro.upcxx.future import Future
+from repro.upcxx.global_ptr import GlobalPtr
+from repro.upcxx.runtime import CompQItem, current_runtime
+
+
+def _as_bytes(src, dest: GlobalPtr) -> bytes:
+    """Coerce the source operand of an rput into raw bytes."""
+    if isinstance(src, (bytes, bytearray, memoryview)):
+        return bytes(src)
+    if isinstance(src, np.ndarray):
+        return np.ascontiguousarray(src).tobytes()
+    if isinstance(src, str):
+        return src.encode("utf-8")
+    if np.isscalar(src):
+        return np.asarray(src, dtype=dest.dtype).tobytes()
+    raise TypeError(f"cannot rput object of type {type(src).__name__}")
+
+
+def _pick_path(rt, nbytes: int) -> str:
+    return PATH_FMA if nbytes < rt.costs.bte_threshold else PATH_BTE
+
+
+def rput(
+    src,
+    dest: GlobalPtr,
+    cx: Optional[Completion] = None,
+) -> Optional[Future]:
+    """Non-blocking one-sided put of ``src`` into global memory at ``dest``.
+
+    ``src`` may be bytes, a numpy array, a str, or a scalar (converted to
+    ``dest.dtype``).  Returns a future unless a promise/remote-only
+    completion was requested.
+    """
+    rt = current_runtime()
+    data = _as_bytes(src, dest)
+    nbytes = len(data)
+    if nbytes > dest.nbytes:
+        raise GlobalPtrError(f"rput of {nbytes}B exceeds destination span of {dest.nbytes}B")
+    rt.n_rputs += 1
+    rt.charge_sw(rt.costs.rma_inject)
+    promise, fut = resolve(cx, rt)
+    remote_rpc = cx.remote_rpc if cx is not None else None
+    path = _pick_path(rt, nbytes)
+
+    def injector():
+        opid = rt.next_op_id()
+        rt.actQ[opid] = f"rput {nbytes}B -> {dest.rank}"
+
+        on_remote_commit = None
+        if remote_rpc is not None:
+            fn, args = remote_rpc
+            target_rt_holder = rt.world.runtimes
+            dst_rank = dest.rank
+
+            def on_remote_commit(arrival: float):  # network context at target
+                target_rt = target_rt_holder[dst_rank]
+                item = CompQItem(
+                    cost=target_rt.cpu.t(target_rt.costs.rpc_dispatch),
+                    fn=lambda: fn(*args),
+                    kind="remote_cx_rpc",
+                )
+                target_rt.gasnet_completed(item)
+                rt.sched.wake(dst_rank, arrival)
+
+        handle = rt.conduit.put_nb(
+            rt.rank, dest.rank, dest.offset, data, path, on_remote_commit=on_remote_commit
+        )
+
+        def on_done(h):  # network context at initiator
+            def fulfill():
+                rt.actQ.pop(opid, None)
+                if promise is not None:
+                    promise.fulfill_anonymous(1)
+
+            rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rput"))
+            rt.sched.wake(rt.rank, h.time_done)
+
+        handle.on_complete(on_done)
+
+    rt.enqueue_deferred(injector)
+    rt.internal_progress()
+    return fut
+
+
+def rget(
+    src: GlobalPtr,
+    count: Optional[int] = None,
+    cx: Optional[Completion] = None,
+) -> Optional[Future]:
+    """Non-blocking one-sided get from global memory.
+
+    Fetches ``count`` elements (default: the pointer's full span).  The
+    future's value is a numpy array of ``src.dtype`` (or the scalar itself
+    when ``count == 1`` and the pointer is scalar-typed).
+    """
+    rt = current_runtime()
+    n = src.count if count is None else count
+    if n <= 0 or n > src.count:
+        raise GlobalPtrError(f"rget of {n} elements outside span of {src.count}")
+    nbytes = n * src.itemsize
+    rt.n_rgets += 1
+    rt.charge_sw(rt.costs.rma_inject)
+    promise, fut = resolve(cx, rt)
+    # a user-supplied promise may track many operations, so it is fulfilled
+    # anonymously (no value); only the default as_future carries the data
+    anonymous = cx is not None and cx.kind == "promise"
+    path = _pick_path(rt, nbytes)
+    scalar = n == 1
+
+    def injector():
+        opid = rt.next_op_id()
+        rt.actQ[opid] = f"rget {nbytes}B <- {src.rank}"
+        handle = rt.conduit.get_nb(rt.rank, src.rank, src.offset, nbytes, path)
+
+        def on_done(h):  # network context
+            raw = h.data
+
+            def fulfill():
+                rt.actQ.pop(opid, None)
+                if promise is None:
+                    return
+                if anonymous:
+                    promise.fulfill_anonymous(1)
+                    return
+                arr = np.frombuffer(raw, dtype=src.dtype)
+                value = arr[0].item() if scalar else arr.copy()
+                promise.fulfill_result(value)
+
+            rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rget"))
+            rt.sched.wake(rt.rank, h.time_done)
+
+        handle.on_complete(on_done)
+
+    rt.enqueue_deferred(injector)
+    rt.internal_progress()
+    return fut
+
+
+def rput_then_rpc(src, dest: GlobalPtr, fn, *args) -> None:
+    """Convenience for ``rput(..., remote_cx.as_rpc(fn, *args))``.
+
+    The data lands at ``dest`` and then ``fn(*args)`` executes on the
+    owning rank — one network traversal, no initiator-side round trip.
+    """
+    from repro.upcxx.completion import remote_cx
+
+    rput(src, dest, cx=remote_cx.as_rpc(fn, *args))

@@ -1,0 +1,250 @@
+"""Remote procedure calls: ``rpc`` and ``rpc_ff``.
+
+An RPC ships a function and its serialized arguments to a target rank.
+Progression matches the paper's Fig. 2: the injection is staged on the
+initiator's defQ, handed to GASNet as an AM (actQ), and lands in the
+*target's* compQ where it waits for the target's **user-level progress**
+to execute.  A returning RPC sends its value back the same way, fulfilling
+the initiator's future during the initiator's user progress.
+
+Argument handling:
+
+- :class:`~repro.upcxx.view.View` arguments serialize zero-copy on the
+  target (a window into the network buffer);
+- :class:`~repro.upcxx.dist_object.DistObject` arguments are translated to
+  global ids on the wire and to the *target's local representative* on
+  arrival; if the target has not constructed its representative yet, the
+  RPC is deferred until it does (UPC++ semantics);
+- an RPC body returning a :class:`Future` delays the reply until that
+  future is ready, and the initiator's future yields the inner value.
+
+In this in-process simulation, functions travel by reference: RPC bodies
+must not rely on mutating captured initiator state (on a real machine they
+could not), and the test suite's apps follow that rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.upcxx import serialization
+from repro.upcxx.errors import UpcxxError
+from repro.upcxx.future import Future, Promise
+from repro.upcxx.runtime import CompQItem, Runtime, current_runtime, register_am
+
+#: wire overhead of an RPC envelope beyond the packed arguments
+_ENVELOPE_BYTES = 48
+
+
+class _FnRef:
+    """Placeholder for a callable argument shipped by reference.
+
+    Real UPC++ ships function pointers; in this in-process simulation,
+    callables found in RPC arguments travel out-of-band (indexed into the
+    envelope's function table) rather than through the byte serializer.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        self.index = index
+
+    def __reduce__(self):  # picklable so it can ride the byte stream
+        return (_FnRef, (self.index,))
+
+
+class _UnresolvedDistObject(Exception):
+    """Raised during argument resolution when a dist_object id is unknown."""
+
+    def __init__(self, key):
+        super().__init__(f"dist_object {key} not yet constructed")
+        self.key = key
+
+
+def _translate_args_out(rt: Runtime, args: tuple) -> tuple:
+    """Initiator side: replace DistObject arguments by wire references.
+
+    Recurses through containers so dist_objects nested in lists/dicts
+    (e.g. forwarded argument packs) are translated too.
+    """
+    from repro.upcxx.dist_object import DistObject
+
+    fns: list = []
+
+    def walk(a):
+        if isinstance(a, DistObject):
+            return a.ref()
+        if callable(a) and not isinstance(a, type):
+            fns.append(a)
+            return _FnRef(len(fns) - 1)
+        if isinstance(a, tuple):
+            return tuple(walk(x) for x in a)
+        if isinstance(a, list):
+            return [walk(x) for x in a]
+        if isinstance(a, dict):
+            return {k: walk(v) for k, v in a.items()}
+        return a
+
+    return tuple(walk(a) for a in args), fns
+
+
+def _resolve_args_in(rt: Runtime, args: tuple, fns: list) -> tuple:
+    """Target side: replace DistObjectRef tokens by local representatives
+    and _FnRef placeholders by the shipped callables.
+
+    Raises :class:`_UnresolvedDistObject` (deferring the RPC) if any named
+    dist_object has not been constructed here yet.
+    """
+
+    def walk(a):
+        if isinstance(a, _FnRef):
+            return fns[a.index]
+        if isinstance(a, serialization.DistObjectRef):
+            key = (a.team_uid, a.index)
+            obj = rt.dist_objects.get(key)
+            if obj is None:
+                raise _UnresolvedDistObject(key)
+            return obj
+        if isinstance(a, tuple):
+            return tuple(walk(x) for x in a)
+        if isinstance(a, list):
+            return [walk(x) for x in a]
+        if isinstance(a, dict):
+            return {k: walk(v) for k, v in a.items()}
+        return a
+
+    return tuple(walk(a) for a in args)
+
+
+def _inject_am(
+    rt: Runtime,
+    target: int,
+    tag: str,
+    payload: dict,
+    nbytes: int,
+) -> None:
+    """Stage an AM on defQ and run internal progress (Fig. 2 left side)."""
+
+    def injector():
+        opid = rt.next_op_id()
+        rt.actQ[opid] = f"{tag} -> {target} ({nbytes}B)"
+        handle = rt.conduit.am_send(rt.rank, target, tag, payload, nbytes=nbytes)
+        handle.on_complete(lambda h: rt.actQ.pop(opid, None))
+
+    rt.enqueue_deferred(injector)
+    rt.internal_progress()
+
+
+def rpc(target: int, fn: Callable, *args) -> Future:
+    """Run ``fn(*args)`` on rank ``target``; future of its return value."""
+    rt = current_runtime()
+    if not 0 <= target < rt.world.n_ranks:
+        raise UpcxxError(f"rpc target {target} out of range [0, {rt.world.n_ranks})")
+    rt.n_rpcs_sent += 1
+    wire_args, fns = _translate_args_out(rt, args)
+    raw = serialization.pack(wire_args)
+    view_bytes = serialization.copy_free_bytes(args)
+    rt.charge_sw(rt.costs.rpc_inject)
+    rt.charge_copy(len(raw))
+
+    promise = Promise(rt)
+    token = rt.next_token()
+    rt.reply_table[token] = promise
+    payload = {
+        "fn": fn,
+        "fns": fns,
+        "raw": raw,
+        "token": token,
+        "reply_to": rt.rank,
+        "copy_bytes": len(raw) - view_bytes,
+    }
+    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=len(raw) + _ENVELOPE_BYTES)
+    return promise.get_future()
+
+
+def rpc_ff(target: int, fn: Callable, *args) -> None:
+    """Fire-and-forget RPC: no acknowledgment, nothing returned (``rpc_ff``)."""
+    rt = current_runtime()
+    if not 0 <= target < rt.world.n_ranks:
+        raise UpcxxError(f"rpc_ff target {target} out of range [0, {rt.world.n_ranks})")
+    rt.n_rpcs_sent += 1
+    wire_args, fns = _translate_args_out(rt, args)
+    raw = serialization.pack(wire_args)
+    view_bytes = serialization.copy_free_bytes(args)
+    rt.charge_sw(rt.costs.rpc_inject)
+    rt.charge_copy(len(raw))
+    payload = {
+        "fn": fn,
+        "fns": fns,
+        "raw": raw,
+        "token": None,
+        "reply_to": rt.rank,
+        "copy_bytes": len(raw) - view_bytes,
+    }
+    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=len(raw) + _ENVELOPE_BYTES)
+
+
+# --------------------------------------------------------------- dispatchers
+def _execute_rpc_body(rt: Runtime, payload: dict) -> None:
+    """Run an incoming RPC (rank context, inside user progress)."""
+    args = serialization.unpack(payload["raw"])
+    try:
+        resolved = _resolve_args_in(rt, args, payload.get("fns", []))
+    except _UnresolvedDistObject as ex:
+        # Defer until the local representative is constructed.
+        item = CompQItem(0.0, lambda: _execute_rpc_body(rt, payload), "rpc-deferred")
+        rt.dist_waiters.setdefault(ex.key, []).append(item)
+        return
+
+    rt.n_rpcs_executed += 1
+    result = payload["fn"](*resolved)
+    token = payload["token"]
+    if token is None:
+        return
+
+    reply_to = payload["reply_to"]
+
+    def send_reply(values: tuple) -> None:
+        raw = serialization.pack(values)
+        rt.charge_sw(rt.costs.rpc_reply_inject)
+        rt.charge_copy(len(raw))
+        _inject_am(
+            rt,
+            reply_to,
+            "upcxx.rpc_reply",
+            {"token": token, "raw": raw},
+            nbytes=len(raw) + _ENVELOPE_BYTES,
+        )
+
+    if isinstance(result, Future):
+        result._on_ready(lambda: send_reply(result._values))
+    elif result is None:
+        send_reply(())
+    else:
+        send_reply((result,))
+
+
+def _dispatch_rpc(rt: Runtime, msg) -> CompQItem:
+    """Build the compQ item for an arrived RPC request."""
+    payload = msg.payload
+    cost = rt.cpu.t(rt.costs.rpc_dispatch) + rt.cpu.copy_time(payload["copy_bytes"])
+    return CompQItem(cost, lambda: _execute_rpc_body(rt, payload), "rpc")
+
+
+def _dispatch_rpc_reply(rt: Runtime, msg) -> CompQItem:
+    """Build the compQ item for an arrived RPC reply."""
+    payload = msg.payload
+
+    def run():
+        promise = rt.reply_table.pop(payload["token"], None)
+        if promise is None:
+            raise UpcxxError(f"orphan rpc reply token {payload['token']}")
+        values = serialization.unpack(payload["raw"])
+        promise.fulfill_result(*values)
+
+    cost = rt.cpu.t(rt.costs.completion) + rt.cpu.copy_time(len(payload["raw"]))
+    return CompQItem(cost, run, "rpc-reply")
+
+
+register_am("upcxx.rpc", _dispatch_rpc)
+register_am("upcxx.rpc_reply", _dispatch_rpc_reply)

@@ -1,0 +1,241 @@
+"""The UPC++ runtime: progress engine and per-rank state.
+
+Faithful to the paper's §III, each rank's :class:`Runtime` keeps the three
+unordered operation queues:
+
+- **defQ** — operations in the *deferred* state, not yet handed to GASNet.
+  (Injection calls enqueue here; internal progress drains it.)
+- **actQ** — operations in the *active* state: handed to the conduit, which
+  completes them without further initiator attentiveness (NIC offload).
+- **compQ** — operations in the *complete* state: finished transfers whose
+  promises await fulfillment, plus **incoming RPCs** awaiting execution.
+  compQ is drained **only by user-level progress** — a rank that computes
+  without calling ``progress()`` stalls its incoming RPCs and its own
+  future callbacks, exactly the attentiveness behavior the paper warns
+  about.
+
+Internal progress (which happens on every call into the library) drains
+defQ, promotes conduit-completed operations into compQ, and moves due
+active messages from the conduit inbox into compQ.  User progress
+(``progress()``/``wait()``) additionally *executes* compQ: fulfilling
+promises (which runs ``.then`` callbacks inline) and dispatching RPC
+bodies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+from repro.gasnet.conduit import Conduit
+from repro.gasnet.cpumodel import CpuModel
+from repro.gasnet.machine import Machine
+from repro.gasnet.network import NetworkModel
+from repro.sim.coop import Scheduler, current_scheduler
+from repro.sim.rng import RankRandom
+from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
+from repro.upcxx.errors import NotInSpmdError
+from repro.upcxx.future import Future
+
+
+class CompQItem:
+    """One entry of compQ: a CPU charge plus a rank-context thunk."""
+
+    __slots__ = ("cost", "fn", "kind")
+
+    def __init__(self, cost: float, fn: Callable[[], None], kind: str = "op"):
+        self.cost = cost  # seconds, already platform-scaled
+        self.fn = fn
+        self.kind = kind
+
+
+class World:
+    """Per-job UPC++ state shared by all ranks (conduit, registries)."""
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        machine: Machine,
+        network: NetworkModel,
+        cpu: CpuModel,
+        costs: UpcxxCosts = DEFAULT_COSTS,
+        segment_size: int = 32 * 1024 * 1024,
+        seed: int = 0,
+    ):
+        self.sched = sched
+        self.machine = machine
+        self.network = network
+        self.cpu = cpu
+        self.costs = costs
+        self.seed = seed
+        self.conduit = Conduit(sched, machine, network, segment_size)
+        self.n_ranks = sched.n_ranks
+        self.runtimes: List[Optional["Runtime"]] = [None] * self.n_ranks
+        #: next team uid (uids are assigned collectively & deterministically)
+        self.team_uid_seq = 1  # 0 is reserved for world
+
+
+class Runtime:
+    """One rank's view of the UPC++ library."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.sched = world.sched
+        self.cpu = world.cpu
+        self.costs = world.costs
+        self.conduit = world.conduit
+        self.rng = RankRandom(world.seed, rank, salt="upcxx")
+
+        # §III queues
+        self.defQ: deque = deque()  # callables: op injectors
+        self.actQ: dict = {}  # opid -> description (diagnostics)
+        self.compQ: deque = deque()  # CompQItem
+        #: network-context staging area: conduit-completed ops waiting for
+        #: the next internal progress to be promoted into compQ
+        self._gasnet_done: deque = deque()
+
+        self._op_seq = 0
+        #: outstanding RPC replies: token -> callable(result)
+        self.reply_table: dict = {}
+        self._token_seq = 0
+
+        #: dist_object registry: (team_uid, index) -> DistObject; plus
+        #: deferred RPCs waiting for a dist_object to be constructed
+        self.dist_objects: dict = {}
+        self.dist_waiters: dict = {}
+        self.dist_creation_seq: dict = {}  # team_uid -> next index
+
+        #: collectives state (epoch counters etc.), keyed by team uid
+        self.coll_state: dict = {}
+
+        #: teams known to this rank: uid -> Team
+        self.teams: dict = {}
+
+        # counters
+        self.n_rputs = 0
+        self.n_rgets = 0
+        self.n_rpcs_sent = 0
+        self.n_rpcs_executed = 0
+        self.n_progress_calls = 0
+
+        world.runtimes[rank] = self
+
+    # --------------------------------------------------------------- charges
+    def charge_sw(self, base_seconds: float) -> None:
+        """Charge a Haswell-calibrated software cost, platform-scaled."""
+        self.sched.charge(self.cpu.t(base_seconds))
+
+    def charge_copy(self, nbytes: int) -> None:
+        """Charge a CPU copy/serialization of ``nbytes``."""
+        if nbytes > 0:
+            self.sched.charge(self.cpu.copy_time(nbytes))
+
+    def compute(self, seconds: float) -> None:
+        """Model application computation (no progress happens inside)."""
+        self.sched.charge(seconds)
+
+    def now(self) -> float:
+        return self.sched.now()
+
+    # ------------------------------------------------------------ op plumbing
+    def next_op_id(self) -> int:
+        self._op_seq += 1
+        return self._op_seq
+
+    def next_token(self) -> int:
+        self._token_seq += 1
+        return self._token_seq
+
+    def enqueue_deferred(self, injector: Callable[[], None]) -> None:
+        """Put an operation in the deferred state (defQ)."""
+        self.defQ.append(injector)
+
+    def gasnet_completed(self, item: CompQItem) -> None:
+        """Network context: a conduit op finished; stage for promotion."""
+        self._gasnet_done.append(item)
+
+    def enqueue_complete(self, item: CompQItem) -> None:
+        """Rank context: place an item directly into compQ."""
+        self.compQ.append(item)
+
+    # -------------------------------------------------------------- progress
+    def internal_progress(self) -> None:
+        """Progress that happens on any call into the library.
+
+        Drains defQ into the conduit, promotes conduit completions into
+        compQ, and moves due inbox AMs into compQ.  Does NOT execute compQ.
+        """
+        # ensure due network events have been delivered at our clock
+        self.sched.checkpoint()
+        while self.defQ:
+            injector = self.defQ.popleft()
+            injector()
+        while self._gasnet_done:
+            self.compQ.append(self._gasnet_done.popleft())
+        inbox = self.conduit.inbox(self.rank)
+        now = self.sched.now()
+        while inbox.has_due(now):
+            msg = inbox.poll(now)
+            handler = _AM_DISPATCH.get(msg.tag)
+            if handler is None:
+                raise NotInSpmdError(f"no dispatcher for AM tag {msg.tag!r}")
+            self.compQ.append(handler(self, msg))
+
+    def progress(self) -> None:
+        """User-level progress: also executes compQ to completion."""
+        self.n_progress_calls += 1
+        self.charge_sw(self.costs.progress_poll)
+        self.internal_progress()
+        while self.compQ:
+            item = self.compQ.popleft()
+            if item.cost > 0:
+                self.sched.charge(item.cost)
+            item.fn()
+            if not self.compQ:
+                # executing items may have injected ops / received arrivals
+                self.internal_progress()
+
+    def wait_on(self, fut: Future) -> None:
+        """Spin around user progress until ``fut`` is ready (paper: wait)."""
+        while not fut.ready():
+            self.progress()
+            if fut.ready():
+                break
+            self.sched.block("upcxx::wait")
+
+    def wait_quiet(self, pred: Callable[[], bool], reason: str = "upcxx::quiesce") -> None:
+        """Progress until an arbitrary predicate holds (library-internal)."""
+        while not pred():
+            self.progress()
+            if pred():
+                break
+            self.sched.block(reason)
+
+    # -------------------------------------------------------------- teams
+    def team_world(self):
+        from repro.upcxx.teams import Team
+
+        team = self.teams.get(0)
+        if team is None:
+            team = Team(self, uid=0, members=list(range(self.world.n_ranks)))
+            self.teams[0] = team
+        return team
+
+
+#: AM tag -> (runtime, msg) -> CompQItem; populated by rpc/collectives
+_AM_DISPATCH: dict = {}
+
+
+def register_am(tag: str, builder: Callable) -> None:
+    """Register a compQ-item builder for an AM tag (module initialization)."""
+    _AM_DISPATCH[tag] = builder
+
+
+def current_runtime() -> Runtime:
+    """The calling rank's runtime (inside a UPC++ SPMD region)."""
+    sched = current_scheduler()
+    rt = sched.rank_env().get("upcxx_rt")
+    if rt is None:
+        raise NotInSpmdError("UPC++ is not initialized on this rank (use upcxx.run_spmd)")
+    return rt

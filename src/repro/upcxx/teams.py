@@ -1,0 +1,159 @@
+"""Teams: ordered subsets of ranks (``upcxx::team``).
+
+A team is an ordered list of world ranks; team rank *i* is the *i*-th
+member.  ``team_world()`` covers all ranks; ``local_team()`` covers the
+ranks sharing the caller's node (computable without communication from the
+machine topology, as on a real system); ``split(color, key)`` is a
+collective that partitions a team, implemented with real messages (gather
+to the team leader, then scatter of the assignments) — teams deliberately
+avoid any globally-replicated state, per the paper's scalability principle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+from repro.upcxx.errors import UpcxxError
+from repro.upcxx.runtime import Runtime, current_runtime
+
+
+def _stable_uid(members: Sequence[int], salt: str = "") -> int:
+    """Deterministic team uid derived from the member list."""
+    h = hashlib.sha256((salt + ",".join(map(str, members))).encode()).digest()
+    return int.from_bytes(h[:8], "little") | (1 << 62)
+
+
+class Team:
+    """An ordered subset of world ranks, as seen by one member rank."""
+
+    def __init__(self, rt: Runtime, uid: int, members: List[int]):
+        self.rt = rt
+        self.uid = uid
+        self.members = list(members)
+        self._index = {w: i for i, w in enumerate(self.members)}
+        rt.teams[uid] = self
+        # release collective traffic that arrived before this rank built the team
+        from repro.upcxx.collectives import flush_team_waiters
+
+        flush_team_waiters(rt, self)
+
+    # ------------------------------------------------------------- queries
+    def rank_n(self) -> int:
+        """Number of members (``team::rank_n``)."""
+        return len(self.members)
+
+    def rank_me(self) -> int:
+        """The caller's team rank (``team::rank_me``)."""
+        try:
+            return self._index[self.rt.rank]
+        except KeyError:
+            raise UpcxxError(f"rank {self.rt.rank} is not a member of team {self.uid}") from None
+
+    def __getitem__(self, team_rank: int) -> int:
+        """World rank of team rank ``team_rank`` (for rpc targets)."""
+        return self.members[team_rank]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def from_world(self, world_rank: int) -> int:
+        """Translate a world rank to this team's rank."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise UpcxxError(f"world rank {world_rank} not in team {self.uid}") from None
+
+    # ----------------------------------------------------------- construction
+    def create_subteam(self, members: Sequence[int]) -> "Team":
+        """Explicitly construct a subteam from a known member list.
+
+        Collective over ``members`` (every member must call with the same
+        list).  Requires no communication — the uid is derived
+        deterministically from the member list — mirroring
+        ``upcxx::team::create``.
+        """
+        ms = list(members)
+        for m in ms:
+            if m not in self._index:
+                raise UpcxxError(f"rank {m} is not in the parent team")
+        if self.rt.rank not in ms:
+            raise UpcxxError("create_subteam caller must be a member")
+        uid = _stable_uid(ms, salt=f"sub:{self.uid}:")
+        existing = self.rt.teams.get(uid)
+        if existing is not None:
+            return existing
+        return Team(self.rt, uid, ms)
+
+    def split(self, color: int, key: int) -> "Team":
+        """Collective split: members with equal ``color`` form a new team,
+        ordered by ``(key, world rank)`` (``upcxx::team::split``).
+
+        Implemented with real communication: members send ``(color, key)``
+        to the team leader, which computes the partition and scatters each
+        member its new team.
+        """
+        from repro.upcxx.rpc import rpc_ff
+
+        rt = self.rt
+        st = rt.coll_state.setdefault(("split", self.uid), {"epoch": 0, "results": {}})
+        epoch = st["epoch"]
+        st["epoch"] += 1
+
+        leader = self.members[0]
+        rpc_ff(leader, _split_gather, self.uid, epoch, rt.rank, color, key, len(self.members))
+        rt.wait_quiet(lambda: epoch in st["results"], reason=f"team::split epoch {epoch}")
+        members = st["results"].pop(epoch)
+        uid = _stable_uid(members, salt=f"split:{self.uid}:{epoch}:")
+        return Team(rt, uid, members)
+
+
+# --------------------------------------------------------- split machinery
+def _split_gather(team_uid: int, epoch: int, world_rank: int, color: int, key: int, n: int):
+    """Leader side: collect (color, key) pairs; scatter results when full."""
+    from repro.upcxx.rpc import rpc_ff
+
+    rt = current_runtime()
+    st = rt.coll_state.setdefault(("split-gather", team_uid), {})
+    entries = st.setdefault(epoch, [])
+    entries.append((color, key, world_rank))
+    if len(entries) < n:
+        return
+    del st[epoch]
+    by_color: dict = {}
+    for c, k, w in entries:
+        by_color.setdefault(c, []).append((k, w))
+    for c in sorted(by_color):
+        group = [w for _k, w in sorted(by_color[c])]
+        for w in group:
+            rpc_ff(w, _split_deliver, team_uid, epoch, group)
+
+
+def _split_deliver(team_uid: int, epoch: int, members: list):
+    """Member side: record the split result for the waiting caller."""
+    rt = current_runtime()
+    st = rt.coll_state.setdefault(("split", team_uid), {"epoch": 0, "results": {}})
+    st["results"][epoch] = list(members)
+
+
+# ------------------------------------------------------------- world/local
+def team_world(rt: Optional[Runtime] = None) -> Team:
+    """The team of all ranks (``upcxx::world()``)."""
+    rt = rt or current_runtime()
+    return rt.team_world()
+
+
+def local_team(rt: Optional[Runtime] = None) -> Team:
+    """The team of ranks sharing the caller's node (``upcxx::local_team``)."""
+    rt = rt or current_runtime()
+    machine = rt.world.machine
+    node = machine.node_of(rt.rank)
+    members = [r for r in machine.ranks_on_node(node) if r < rt.world.n_ranks]
+    uid = _stable_uid(members, salt="local:")
+    existing = rt.teams.get(uid)
+    if existing is not None:
+        return existing
+    return Team(rt, uid, members)

@@ -1,0 +1,63 @@
+"""Views: zero-copy serialization of user sequences into RPC payloads.
+
+``upcxx::view`` lets an RPC ship a sequence directly out of user memory
+and exposes it at the target as a non-owning window into the incoming
+network buffer (paper §IV-D: the extend-add RPCs send packed doubles as
+views).  Here :class:`View` wraps a contiguous numpy array (or anything
+convertible to one); serialization writes the raw bytes, and
+deserialization yields a View whose backing array aliases the received
+buffer — the receiving side is charged **no deserialization copy**.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class View:
+    """A non-owning, contiguous, typed window over element data."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: np.ndarray):
+        arr = np.ascontiguousarray(array)
+        self._array = arr
+
+    @classmethod
+    def from_iterable(cls, items: Iterable, dtype=np.float64) -> "View":
+        return cls(np.fromiter(items, dtype=dtype))
+
+    def __len__(self) -> int:
+        return self._array.shape[0] if self._array.ndim else 1
+
+    def __iter__(self) -> Iterator:
+        return iter(self._array)
+
+    def __getitem__(self, i):
+        return self._array[i]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._array.nbytes
+
+    def to_numpy(self) -> np.ndarray:
+        """The backing array (aliases the network buffer on the target)."""
+        return self._array
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<View {self._array.dtype}x{len(self)}>"
+
+
+def make_view(container) -> View:
+    """Create a view over a numpy array or sequence (``upcxx::make_view``)."""
+    if isinstance(container, View):
+        return container
+    if isinstance(container, np.ndarray):
+        return View(container)
+    return View(np.asarray(container))

@@ -1,0 +1,36 @@
+"""repro.upcxx_v01 — emulation of the predecessor UPC++ v0.1 (Zheng et al.).
+
+The paper's §V-A contrasts v1.0 against its 2014 predecessor; Fig. 9
+benchmarks symPACK over both.  This package reproduces the v0.1 API
+surface and its documented *limitations*:
+
+- **events, not futures**: an :class:`Event` carries readiness only — no
+  values — and its lifetime is managed explicitly by the programmer;
+- **asyncs cannot return values** (:func:`async_task`): getting data back
+  requires a second async or an RMA, which is why the v0.1 DHT needs a
+  *blocking* remote allocation (:func:`allocate_remote`) followed by a
+  *blocking* put — the latency/overlap cost the paper calls out;
+- **no view-based serialization**: payloads are copied at both ends;
+- **shared arrays** (:class:`SharedArray`): the non-scalable construct the
+  new version dropped — every rank stores a base pointer for every other
+  rank's piece.
+
+It is implemented over the same runtime/conduit as v1.0 with a small
+extra per-operation event-management overhead, so Fig. 9's
+"near-identical, v1.0 marginally ahead" comparison can be reproduced
+honestly.
+"""
+
+from repro.upcxx_v01.events import Event, V01_EVENT_OVERHEAD
+from repro.upcxx_v01.asyncs import async_task, async_copy, allocate_remote, copy_blocking
+from repro.upcxx_v01.shared_array import SharedArray
+
+__all__ = [
+    "Event",
+    "V01_EVENT_OVERHEAD",
+    "async_task",
+    "async_copy",
+    "allocate_remote",
+    "copy_blocking",
+    "SharedArray",
+]

@@ -1,0 +1,57 @@
+"""v0.1 events: readiness-only completion objects.
+
+An event is a counter the program must size and manage itself (the
+"burden of explicitly managing event-object lifetime" the paper notes).
+Unlike a v1.0 promise there is no associated value and no chaining — the
+only operations are ``incref``/``signal``/``test``/``wait``.
+"""
+
+from __future__ import annotations
+
+from repro.upcxx.runtime import current_runtime
+from repro.util.units import US
+
+#: per-operation event bookkeeping cost (v0.1's event registry was a
+#: global table with locking; slightly heavier than v1.0 promises)
+V01_EVENT_OVERHEAD = 0.10 * US
+
+
+class Event:
+    """A v0.1-style completion event (counting semantics)."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, count: int = 0):
+        if count < 0:
+            raise ValueError(f"negative event count: {count}")
+        self._pending = count
+
+    def incref(self, n: int = 1) -> None:
+        """Register ``n`` more operations against this event."""
+        if n < 0:
+            raise ValueError(f"negative incref: {n}")
+        self._pending += n
+
+    def signal(self, n: int = 1) -> None:
+        """Retire ``n`` operations (runtime side)."""
+        if n > self._pending:
+            raise RuntimeError(f"event over-signaled: {self._pending} pending, {n} signaled")
+        self._pending -= n
+
+    def test(self) -> bool:
+        """Nonblocking readiness check (makes user progress)."""
+        if self._pending:
+            current_runtime().progress()
+        return self._pending == 0
+
+    def isdone(self) -> bool:
+        return self._pending == 0
+
+    def wait(self) -> None:
+        """Spin user progress until all registered operations signaled."""
+        rt = current_runtime()
+        rt.charge_sw(V01_EVENT_OVERHEAD)
+        rt.wait_quiet(lambda: self._pending == 0, reason="upcxx_v01 event wait")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<v01.Event pending={self._pending}>"

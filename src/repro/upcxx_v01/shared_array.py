@@ -1,0 +1,75 @@
+"""v0.1 shared arrays — the non-scalable construct v1.0 dropped.
+
+A :class:`SharedArray` is a global array of ``n`` elements block-distributed
+over all ranks.  Construction is collective and **every rank stores the
+base pointer of every other rank's piece** — O(P) state per rank, the exact
+scalability problem the paper's §II cites as a reason v1.0 replaced shared
+arrays with distributed objects.  Included for the v0.1 comparison and to
+let tests demonstrate the footprint difference.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+import repro.upcxx as upcxx
+from repro.upcxx.global_ptr import GlobalPtr
+
+
+class SharedArray:
+    """A v0.1-style global array of ``dtype`` elements.
+
+    Elements are block-distributed: rank r owns indices
+    ``[r*chunk, min((r+1)*chunk, n))``.
+    """
+
+    def __init__(self, n: int, dtype=np.float64):
+        if n < 1:
+            raise ValueError(f"array length must be >= 1, got {n}")
+        rt = upcxx.current_runtime()
+        self.rt = rt
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        p = rt.world.n_ranks
+        self.chunk = -(-n // p)
+        mine = max(0, min(self.chunk, n - rt.rank * self.chunk))
+        local = upcxx.new_array(self.dtype, max(1, mine)) if mine else None
+        # the non-scalable part: allgather every rank's base pointer
+        self.bases: List[GlobalPtr] = [
+            upcxx.broadcast(local, root=r).wait() for r in range(p)
+        ]
+        upcxx.barrier()
+
+    def owner(self, i: int) -> int:
+        self._check(i)
+        return i // self.chunk
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(f"index {i} out of range [0, {self.n})")
+
+    def _slot(self, i: int) -> GlobalPtr:
+        base = self.bases[i // self.chunk]
+        return base + (i % self.chunk)
+
+    def get(self, i: int):
+        """Blocking element read (v0.1 allowed implicit-feeling access)."""
+        return upcxx.rget(self._slot(i), count=1).wait()
+
+    def put(self, i: int, value) -> None:
+        """Blocking element write."""
+        upcxx.rput(value, self._slot(i)).wait()
+
+    def local_view(self) -> np.ndarray:
+        """This rank's piece as a numpy view."""
+        base = self.bases[self.rt.rank]
+        if base is None:
+            return np.empty(0, dtype=self.dtype)
+        mine = max(0, min(self.chunk, self.n - self.rt.rank * self.chunk))
+        return base.local()[:mine]
+
+    def replicated_state_bytes(self) -> int:
+        """Per-rank metadata footprint — O(P), the scalability problem."""
+        return len(self.bases) * 24  # one (rank, offset, len) per base

@@ -1,0 +1,44 @@
+"""Shared utilities: units, statistics, benchmark records, tracing.
+
+These helpers are deliberately dependency-light so every other subpackage
+(`sim`, `gasnet`, `upcxx`, `mpisim`, `apps`, `bench`) can use them without
+import cycles.
+"""
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    US,
+    MS,
+    NS,
+    fmt_bytes,
+    fmt_time,
+    fmt_rate,
+    parse_size,
+)
+from repro.util.stats import Summary, summarize, geomean, speedup
+from repro.util.records import BenchSeries, BenchTable, format_table
+from repro.util.trace import TraceBuffer, TraceEvent
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "US",
+    "MS",
+    "NS",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "parse_size",
+    "Summary",
+    "summarize",
+    "geomean",
+    "speedup",
+    "BenchSeries",
+    "BenchTable",
+    "format_table",
+    "TraceBuffer",
+    "TraceEvent",
+]

@@ -1,0 +1,76 @@
+"""Small statistics helpers for benchmark post-processing.
+
+The paper reports "best of 10 batch jobs" for the microbenchmarks and "mean
+of 10 runs" for the application motifs; :func:`summarize` captures all the
+aggregates either convention needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate statistics over a sample of measurements."""
+
+    n: int
+    mean: float
+    minimum: float
+    maximum: float
+    median: float
+    stdev: float
+
+    @property
+    def best(self) -> float:
+        """Alias for ``minimum`` (paper convention: best == lowest time)."""
+        return self.minimum
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` for a non-empty sample sequence."""
+    xs = sorted(float(x) for x in samples)
+    if not xs:
+        raise ValueError("summarize() requires at least one sample")
+    n = len(xs)
+    mean = sum(xs) / n
+    if n % 2:
+        median = xs[n // 2]
+    else:
+        median = 0.5 * (xs[n // 2 - 1] + xs[n // 2])
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(
+        n=n,
+        mean=mean,
+        minimum=xs[0],
+        maximum=xs[-1],
+        median=median,
+        stdev=math.sqrt(var),
+    )
+
+
+def geomean(samples: Iterable[float]) -> float:
+    """Geometric mean of strictly positive samples."""
+    logs = []
+    for x in samples:
+        if x <= 0:
+            raise ValueError(f"geomean requires positive samples, got {x}")
+        logs.append(math.log(x))
+    if not logs:
+        raise ValueError("geomean() requires at least one sample")
+    return math.exp(sum(logs) / len(logs))
+
+
+def speedup(baseline: float, contender: float) -> float:
+    """Speedup of ``contender`` relative to ``baseline`` for time-like metrics.
+
+    Returns >1 when the contender is faster (lower time).
+    """
+    if contender <= 0:
+        raise ValueError(f"contender time must be positive, got {contender}")
+    return baseline / contender

@@ -1,0 +1,96 @@
+"""Units and human-readable formatting.
+
+Simulated time throughout the code base is expressed in **seconds** as a
+Python float; transfer sizes are in **bytes** as ints.  The constants here
+make cost-model code read like the hardware documents it is derived from
+(e.g. ``0.55 * US`` for a 550 ns wire latency).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------- size units
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# ---------------------------------------------------------------- time units
+# Base unit is the second.
+NS: float = 1e-9
+US: float = 1e-6
+MS: float = 1e-3
+
+_SIZE_SUFFIXES = [
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+]
+
+_SIZE_PARSE = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def fmt_bytes(n: int) -> str:
+    """Format a byte count compactly: ``8`` -> ``"8B"``, ``8192`` -> ``"8KiB"``.
+
+    Exact multiples render without a fraction so benchmark tables line up
+    with the power-of-two transfer sizes used in the paper's figures.
+    """
+    if n < 0:
+        raise ValueError(f"negative byte count: {n}")
+    for unit, suffix in _SIZE_SUFFIXES:
+        if n >= unit:
+            if n % unit == 0:
+                return f"{n // unit}{suffix}"
+            return f"{n / unit:.2f}{suffix}"
+    return f"{n}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"8K"``, ``"4MiB"``, ``"512"`` ... into a byte count."""
+    s = text.strip().lower()
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit():
+        idx -= 1
+    num, suffix = s[:idx], s[idx:].strip()
+    if not num:
+        raise ValueError(f"cannot parse size {text!r}")
+    if suffix not in _SIZE_PARSE:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(num) * _SIZE_PARSE[suffix]
+
+
+def fmt_time(t: float) -> str:
+    """Format a duration in the most natural SI unit (``1.50us``, ``2.3ms``)."""
+    if t < 0:
+        return "-" + fmt_time(-t)
+    if t == 0:
+        return "0s"
+    if t < 1e-6:
+        return f"{t / NS:.1f}ns"
+    if t < 1e-3:
+        return f"{t / US:.2f}us"
+    if t < 1.0:
+        return f"{t / MS:.2f}ms"
+    return f"{t:.3f}s"
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Format a bandwidth (``"9.34GiB/s"``)."""
+    if bytes_per_sec >= GiB:
+        return f"{bytes_per_sec / GiB:.2f}GiB/s"
+    if bytes_per_sec >= MiB:
+        return f"{bytes_per_sec / MiB:.2f}MiB/s"
+    if bytes_per_sec >= KiB:
+        return f"{bytes_per_sec / KiB:.2f}KiB/s"
+    return f"{bytes_per_sec:.1f}B/s"

@@ -1,0 +1,17 @@
+"""Shared test configuration.
+
+Simulation-backed property tests legitimately take longer than hypothesis'
+default 200 ms deadline (each example may spin up a scheduler with several
+rank threads), so the deadline is disabled globally and example counts are
+kept moderate.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

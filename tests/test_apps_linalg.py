@@ -1,0 +1,161 @@
+"""Tests for the distributed CG solver and sample sort."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+import repro.upcxx as upcxx
+from repro.apps.linalg import DistSparseMatrix, cg_solve, sample_sort
+from repro.apps.linalg.cg import gather_solution
+from repro.apps.sparse.matrices import laplacian_3d, random_spd
+
+
+class TestDistSpmv:
+    def test_matvec_matches_scipy(self):
+        a = laplacian_3d(4, 4, 2)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(a.shape[0])
+
+        def body():
+            da = DistSparseMatrix(a)
+            y_local = da.matvec(x[da.lo : da.hi])
+            ys = upcxx.allgather(y_local).wait()
+            upcxx.barrier()
+            return np.concatenate(ys)
+
+        res = upcxx.run_spmd(body, 4, max_time=1e7)
+        assert np.allclose(res[0], a @ x)
+
+    def test_halo_is_sparse_not_full(self):
+        """A banded matrix only needs neighbor slices, not everyone's."""
+        n = 64
+        a = sp.diags([np.ones(n - 1), 4 * np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+
+        def body():
+            da = DistSparseMatrix(sp.csr_matrix(a))
+            upcxx.barrier()
+            return sorted(da.halo)
+
+        res = upcxx.run_spmd(body, 4, max_time=1e7)
+        assert res[0] == [1]  # rank 0 only touches rank 1's slice
+        assert res[1] == [0, 2]
+        assert res[3] == [2]
+
+
+class TestCG:
+    @pytest.mark.parametrize("n_procs", [1, 2, 4])
+    def test_solves_laplacian(self, n_procs):
+        a = laplacian_3d(4, 3, 2)
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal(a.shape[0])
+
+        def body():
+            da = DistSparseMatrix(a)
+            x_local, iters = cg_solve(da, b[da.lo : da.hi], tol=1e-12)
+            x = gather_solution(da, x_local)
+            upcxx.barrier()
+            return x, iters
+
+        res = upcxx.run_spmd(body, n_procs, max_time=1e7)
+        ref = spla.spsolve(sp.csc_matrix(a), b)
+        x, iters = res[0]
+        assert np.allclose(x, ref, atol=1e-7)
+        assert 0 < iters <= a.shape[0] * 4
+        # every rank agrees
+        for other, _ in res[1:]:
+            assert np.allclose(other, x)
+
+    def test_random_spd(self):
+        a = random_spd(40, density=0.1, seed=8)
+        b = np.ones(40)
+
+        def body():
+            da = DistSparseMatrix(a)
+            x_local, _ = cg_solve(da, b[da.lo : da.hi], tol=1e-12)
+            x = gather_solution(da, x_local)
+            upcxx.barrier()
+            return x
+
+        res = upcxx.run_spmd(body, 3, max_time=1e7)
+        assert np.allclose(a @ res[0], b, atol=1e-6)
+
+    def test_zero_rhs_trivial(self):
+        a = laplacian_3d(3, 3, 2)
+
+        def body():
+            da = DistSparseMatrix(a)
+            x_local, iters = cg_solve(da, np.zeros(da.hi - da.lo))
+            upcxx.barrier()
+            return float(np.abs(x_local).max() if len(x_local) else 0.0), iters
+
+        res = upcxx.run_spmd(body, 2, max_time=1e7)
+        assert res[0][0] == 0.0
+        assert res[0][1] == 0  # converged immediately
+
+
+class TestSampleSort:
+    def _run(self, arrays):
+        n = len(arrays)
+
+        def body():
+            me = upcxx.rank_me()
+            part = sample_sort(np.asarray(arrays[me]))
+            parts = upcxx.allgather(part).wait()
+            upcxx.barrier()
+            return [list(map(float, p)) for p in parts]
+
+        return upcxx.run_spmd(body, n, max_time=1e7)[0]
+
+    def test_sorts_random_keys(self):
+        rng = np.random.default_rng(5)
+        arrays = [rng.standard_normal(50) for _ in range(4)]
+        parts = self._run(arrays)
+        merged = [x for p in parts for x in p]
+        assert merged == sorted(merged)
+        assert sorted(merged) == sorted(float(x) for a in arrays for x in a)
+
+    def test_partition_boundaries_ordered(self):
+        rng = np.random.default_rng(6)
+        arrays = [rng.integers(0, 1000, 64).astype(float) for _ in range(4)]
+        parts = self._run(arrays)
+        for p1, p2 in zip(parts, parts[1:]):
+            if p1 and p2:
+                assert p1[-1] <= p2[0]
+
+    def test_skewed_input(self):
+        """All keys on one rank still sort and distribute."""
+        arrays = [np.arange(200, 0, -1, dtype=float), np.empty(0), np.empty(0)]
+        parts = self._run(arrays)
+        merged = [x for p in parts for x in p]
+        assert merged == sorted(merged)
+        assert len(merged) == 200
+
+    def test_duplicate_keys(self):
+        arrays = [np.full(30, 7.0), np.full(30, 7.0)]
+        parts = self._run(arrays)
+        assert sum(len(p) for p in parts) == 60
+        assert all(x == 7.0 for p in parts for x in p)
+
+    def test_single_rank(self):
+        def body():
+            out = sample_sort(np.array([3.0, 1.0, 2.0]))
+            return list(out)
+
+        assert upcxx.run_spmd(body, 1) == [[1.0, 2.0, 3.0]]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(-1000, 1000), min_size=0, max_size=40),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_property_total_order(self, chunks):
+        arrays = [np.asarray(c, dtype=float) for c in chunks]
+        parts = self._run(arrays)
+        merged = [x for p in parts for x in p]
+        assert merged == sorted(merged)
+        assert sorted(merged) == sorted(float(x) for a in arrays for x in a)

@@ -1,0 +1,129 @@
+"""Unit and property tests for the shared-segment allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gasnet.segment import Segment, SegmentAllocationError
+
+
+def test_simple_alloc_free():
+    seg = Segment(4096, owner_rank=0)
+    off = seg.allocate(100)
+    assert seg.is_live(off)
+    assert seg.bytes_in_use >= 100
+    seg.deallocate(off)
+    assert not seg.is_live(off)
+    assert seg.bytes_in_use == 0
+    assert seg.free_bytes == 4096
+
+
+def test_alignment():
+    seg = Segment(4096, owner_rank=0, align=64)
+    a = seg.allocate(1)
+    b = seg.allocate(1)
+    assert a % 64 == 0 and b % 64 == 0
+    assert b - a >= 64
+
+
+def test_exhaustion_raises():
+    seg = Segment(1024, owner_rank=0)
+    seg.allocate(1024)
+    with pytest.raises(SegmentAllocationError):
+        seg.allocate(1)
+
+
+def test_coalescing_allows_reuse():
+    seg = Segment(1024, owner_rank=0, align=64)
+    offs = [seg.allocate(256) for _ in range(4)]
+    for off in offs:
+        seg.deallocate(off)
+    # after coalescing the full segment should be allocatable again
+    big = seg.allocate(1024)
+    assert big == 0
+
+
+def test_write_read_roundtrip():
+    seg = Segment(4096, owner_rank=0)
+    off = seg.allocate(16)
+    seg.write(off, b"hello world!!!!!")
+    assert seg.read(off, 16) == b"hello world!!!!!"
+
+
+def test_typed_view_is_zero_copy():
+    seg = Segment(4096, owner_rank=0)
+    off = seg.allocate(8 * 10)
+    v = seg.view(off, np.float64, 10)
+    v[:] = np.arange(10.0)
+    raw = np.frombuffer(seg.read(off, 80), dtype=np.float64)
+    assert np.array_equal(raw, np.arange(10.0))
+
+
+def test_out_of_range_access_rejected():
+    seg = Segment(128, owner_rank=0)
+    with pytest.raises(ValueError):
+        seg.read(120, 16)
+    with pytest.raises(ValueError):
+        seg.write(125, b"abcdef")
+    with pytest.raises(ValueError):
+        seg.view(124, np.float64, 1)
+
+
+def test_double_free_rejected():
+    seg = Segment(1024, owner_rank=0)
+    off = seg.allocate(64)
+    seg.deallocate(off)
+    with pytest.raises(ValueError):
+        seg.deallocate(off)
+
+
+def test_zero_size_alloc_rejected():
+    seg = Segment(1024, owner_rank=0)
+    with pytest.raises(ValueError):
+        seg.allocate(0)
+
+
+def test_peak_tracking():
+    seg = Segment(4096, owner_rank=0, align=64)
+    a = seg.allocate(1024)
+    b = seg.allocate(1024)
+    seg.deallocate(a)
+    seg.deallocate(b)
+    assert seg.peak_in_use == 2048
+    assert seg.bytes_in_use == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 700)), min_size=1, max_size=120))
+def test_allocator_invariants_random_workload(ops):
+    """Random alloc/free sequences never corrupt the free list."""
+    seg = Segment(16 * 1024, owner_rank=0)
+    live = []
+    for do_alloc, size in ops:
+        if do_alloc or not live:
+            try:
+                off = seg.allocate(size)
+            except SegmentAllocationError:
+                continue
+            live.append(off)
+        else:
+            idx = size % len(live)
+            seg.deallocate(live.pop(idx))
+        seg.check_invariants()
+    for off in live:
+        seg.deallocate(off)
+    seg.check_invariants()
+    assert seg.free_bytes == 16 * 1024
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 300), min_size=1, max_size=40))
+def test_no_overlap_between_live_allocations(sizes):
+    seg = Segment(64 * 1024, owner_rank=0)
+    spans = []
+    for n in sizes:
+        off = seg.allocate(n)
+        spans.append((off, off + n))
+    spans.sort()
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        assert e1 <= s2, "allocations overlap"

@@ -1,0 +1,93 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import EventQueue
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert q.peek_time() is None
+    assert len(q) == 0
+    assert not q
+
+
+def test_fifo_within_same_time():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(1.0, lambda i=i: order.append(i))
+    while q:
+        _, fn = q.pop()
+        fn()
+    assert order == list(range(10))
+
+
+def test_time_ordering():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append(3))
+    q.push(1.0, lambda: fired.append(1))
+    q.push(2.0, lambda: fired.append(2))
+    times = []
+    while q:
+        t, fn = q.pop()
+        times.append(t)
+        fn()
+    assert fired == [1, 2, 3]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_peek_matches_pop():
+    q = EventQueue()
+    q.push(5.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.peek_time() == 2.0
+    t, _ = q.pop()
+    assert t == 2.0
+    assert q.peek_time() == 5.0
+
+
+def test_rejects_negative_and_nan_times():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_stats_counters():
+    q = EventQueue()
+    for i in range(5):
+        q.push(float(i), lambda: None)
+    q.pop()
+    q.pop()
+    assert q.stats == {"posted": 5, "fired": 2, "pending": 3}
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+def test_pop_order_is_nondecreasing(times):
+    q = EventQueue()
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while q:
+        t, _ = q.pop()
+        popped.append(t)
+    assert popped == sorted(popped)
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 1000)), min_size=1, max_size=300))
+def test_stable_for_equal_times(pairs):
+    """Events at equal times fire in insertion order (stability)."""
+    q = EventQueue()
+    log = []
+    for t, tag in pairs:
+        q.push(float(t), lambda t=t, tag=tag: log.append((t, tag)))
+    while q:
+        _, fn = q.pop()
+        fn()
+    # stable sort of the input by time must equal the firing log
+    expected = sorted(((float(t), tag) for t, tag in pairs), key=lambda p: p[0])
+    assert [(t, tag) for t, tag in log] == [(t, tag) for t, tag in expected]

@@ -1,0 +1,146 @@
+"""Tests for general-matrix supernodal symbolic analysis and the solver
+running on non-grid SPD inputs."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+import repro.upcxx as upcxx
+from repro.apps.sparse.elimtree import elimination_tree
+from repro.apps.sparse.matrices import laplacian_3d, random_spd
+from repro.apps.sparse.numeric import factor_and_solve
+from repro.apps.sparse.ordering import nested_dissection_3d
+from repro.apps.sparse.supernodes import (
+    amalgamate,
+    build_cholesky_plan_general,
+    column_structures,
+    fundamental_supernodes,
+    symbolic_general,
+)
+from repro.apps.sparse.symbolic import check_symbolic_invariants
+
+
+class TestColumnStructures:
+    def test_matches_dense_cholesky_fill(self):
+        a = random_spd(40, density=0.08, seed=1)
+        parent = elimination_tree(a)
+        struct = column_structures(a, parent)
+        ell = np.linalg.cholesky(a.toarray())
+        for j in range(40):
+            fill = {int(i) for i in np.flatnonzero(np.abs(ell[:, j]) > 1e-12) if i > j}
+            # symbolic structure must cover the numeric fill
+            assert fill <= struct[j]
+
+    def test_tridiagonal_structures(self):
+        n = 8
+        a = sp.diags([np.ones(n - 1), 4 * np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        parent = elimination_tree(a)
+        struct = column_structures(sp.csc_matrix(a), parent)
+        for j in range(n - 1):
+            assert struct[j] == {j + 1}
+        assert struct[n - 1] == set()
+
+
+class TestSupernodes:
+    def test_partition_covers_all_columns(self):
+        a = random_spd(60, density=0.05, seed=2)
+        parent = elimination_tree(a)
+        struct = column_structures(a, parent)
+        sns = fundamental_supernodes(parent, struct)
+        cols = sorted(c for s in sns for c in s)
+        assert cols == list(range(60))
+
+    def test_dense_matrix_collapses_to_one_supernode(self):
+        """A dense SPD matrix's factor is fully dense: one supernode."""
+        n = 10
+        a = sp.csc_matrix(random_spd(n, density=1.0, seed=5).toarray())
+        parent = elimination_tree(a)
+        struct = column_structures(a, parent)
+        sns = fundamental_supernodes(parent, struct)
+        assert len(sns) == 1 and len(sns[0]) == n
+
+    def test_tridiagonal_gives_bidiagonal_singletons(self):
+        """A tridiagonal factor is bidiagonal: struct(j) = {j+1} differs
+        column to column, so only the final pair merges."""
+        n = 10
+        a = sp.diags([np.ones(n - 1), 4 * np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        parent = elimination_tree(a)
+        struct = column_structures(sp.csc_matrix(a), parent)
+        sns = fundamental_supernodes(parent, struct)
+        assert len(sns) == n - 1
+        assert sorted(map(len, sns)) == [1] * (n - 2) + [2]
+
+    def test_diagonal_matrix_gives_singleton_supernodes(self):
+        a = sp.identity(6, format="csc") * 3.0
+        parent = elimination_tree(a)
+        struct = column_structures(a, parent)
+        sns = fundamental_supernodes(parent, struct)
+        assert len(sns) == 6
+
+    def test_amalgamation_reduces_front_count(self):
+        a = random_spd(80, density=0.03, seed=3)
+        f0, _ = symbolic_general(a, max_extra_fill=0)
+        f1, _ = symbolic_general(a, max_extra_fill=200)
+        assert len(f1) <= len(f0)
+        check_symbolic_invariants(f1)
+
+    def test_fronts_satisfy_invariants(self):
+        a = random_spd(70, density=0.06, seed=4)
+        fronts, _ = symbolic_general(a)
+        check_symbolic_invariants(fronts)
+        # postorder ids: children strictly smaller than parents
+        for nid, f in fronts.items():
+            for c in f.children:
+                assert c < nid
+
+    def test_with_nd_permutation_on_grid(self):
+        """The generic path under an ND permutation must produce valid
+        fronts for a grid too."""
+        a = laplacian_3d(4, 4, 2)
+        _root, perm = nested_dissection_3d(4, 4, 2, leaf_size=8)
+        fronts, elim_pos = symbolic_general(a, perm=perm)
+        check_symbolic_invariants(fronts)
+        assert sorted(int(elim_pos[v]) for v in range(32)) == list(range(32))
+
+
+class TestGeneralSolver:
+    @pytest.mark.parametrize("n_procs", [1, 2, 4])
+    def test_random_spd_solved_exactly(self, n_procs):
+        a = random_spd(50, density=0.06, seed=7)
+        plan = build_cholesky_plan_general(a, n_procs=n_procs)
+        rng = np.random.default_rng(9)
+        b = rng.standard_normal(50)
+        res = upcxx.run_spmd(lambda: factor_and_solve(plan, b), n_procs, max_time=1e7)
+        ref = spla.spsolve(sp.csc_matrix(a), b)
+        assert np.allclose(res[0], ref, atol=1e-8)
+
+    def test_grid_matrix_through_generic_path(self):
+        """Same answer whether the fronts come from geometry or supernodes."""
+        a = laplacian_3d(4, 3, 2)
+        _root, perm = nested_dissection_3d(4, 3, 2, leaf_size=6)
+        plan = build_cholesky_plan_general(a, n_procs=2, perm=perm)
+        b = np.linspace(1, 2, 24)
+        res = upcxx.run_spmd(lambda: factor_and_solve(plan, b), 2, max_time=1e7)
+        ref = spla.spsolve(sp.csc_matrix(a), b)
+        assert np.allclose(res[0], ref, atol=1e-9)
+
+    def test_amalgamated_plan_still_exact(self):
+        a = random_spd(60, density=0.05, seed=12)
+        plan = build_cholesky_plan_general(a, n_procs=4, max_extra_fill=300)
+        b = np.ones(60)
+        res = upcxx.run_spmd(lambda: factor_and_solve(plan, b), 4, max_time=1e7)
+        ref = spla.spsolve(sp.csc_matrix(a), b)
+        assert np.allclose(res[0], ref, atol=1e-8)
+
+    def test_rcm_permutation(self):
+        """Any consistent permutation works (here: reverse Cuthill-McKee)."""
+        from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+        a = random_spd(45, density=0.08, seed=20)
+        perm = np.asarray(reverse_cuthill_mckee(sp.csr_matrix(a)))
+        plan = build_cholesky_plan_general(a, n_procs=2, perm=perm)
+        b = np.arange(45, dtype=float)
+        res = upcxx.run_spmd(lambda: factor_and_solve(plan, b), 2, max_time=1e7)
+        ref = spla.spsolve(sp.csc_matrix(a), b)
+        assert np.allclose(res[0], ref, atol=1e-8)

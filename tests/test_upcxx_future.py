@@ -1,0 +1,171 @@
+"""Unit tests for futures/promises outside of (and inside) SPMD regions.
+
+Futures with no runtime attached can be exercised standalone as long as no
+``then``/``wait`` is used; chained behavior is tested inside run_spmd.
+"""
+
+import pytest
+
+import repro.upcxx as upcxx
+from repro.upcxx.errors import UpcxxError
+from repro.upcxx.future import Future, Promise, make_future, to_future, when_all
+
+
+class TestBasics:
+    def test_make_future_ready(self):
+        f = make_future(42)
+        assert f.ready()
+        assert f.result() == 42
+
+    def test_empty_future_result_is_none(self):
+        f = make_future()
+        assert f.ready()
+        assert f.result() is None
+
+    def test_multivalue_future(self):
+        f = make_future(1, 2, 3)
+        assert f.result() == (1, 2, 3)
+
+    def test_result_before_ready_raises(self):
+        f = Future()
+        with pytest.raises(UpcxxError):
+            f.result()
+
+    def test_to_future(self):
+        assert to_future(5).result() == 5
+        f = make_future(7)
+        assert to_future(f) is f
+
+
+class TestPromise:
+    def test_finalize_readies_with_no_deps(self):
+        p = Promise()
+        f = p.finalize()
+        assert f.ready()
+
+    def test_require_then_fulfill(self):
+        p = Promise()
+        p.require_anonymous(3)
+        f = p.finalize()
+        assert not f.ready()
+        p.fulfill_anonymous(2)
+        assert not f.ready()
+        p.fulfill_anonymous(1)
+        assert f.ready()
+
+    def test_fulfill_result_carries_value(self):
+        p = Promise()
+        p.require_anonymous(1)
+        f = p.finalize()
+        p.fulfill_result("done")
+        assert f.result() == "done"
+
+    def test_get_future_same_future(self):
+        p = Promise()
+        assert p.get_future() is p.get_future()
+
+    def test_overfulfill_raises(self):
+        p = Promise()
+        p.finalize()
+        with pytest.raises(UpcxxError):
+            p.fulfill_anonymous(1)
+
+    def test_double_finalize_raises(self):
+        p = Promise()
+        p.finalize()
+        with pytest.raises(UpcxxError):
+            p.finalize()
+
+    def test_double_result_raises(self):
+        p = Promise()
+        p.require_anonymous(2)
+        p.fulfill_result(1)
+        with pytest.raises(UpcxxError):
+            p.fulfill_result(2)
+
+    def test_negative_counts_rejected(self):
+        p = Promise()
+        with pytest.raises(ValueError):
+            p.require_anonymous(-1)
+        with pytest.raises(ValueError):
+            p.fulfill_anonymous(-1)
+
+
+class TestWhenAllStandalone:
+    def test_when_all_ready_inputs(self):
+        f = when_all(make_future(1), make_future(2, 3), make_future())
+        assert f.ready()
+        assert f.result() == (1, 2, 3)
+
+    def test_when_all_plain_values(self):
+        f = when_all(1, make_future(2), "x")
+        assert f.result() == (1, 2, "x")
+
+    def test_when_all_pending(self):
+        p = Promise()
+        p.require_anonymous(1)
+        pf = p.finalize()
+        f = when_all(make_future(1), pf)
+        assert not f.ready()
+        p.fulfill_result(9)
+        assert f.ready()
+        assert f.result() == (1, 9)
+
+
+class TestChainingInSpmd:
+    def test_then_on_ready_future(self):
+        def body():
+            f = make_future(10).then(lambda x: x * 2)
+            assert f.ready()
+            return f.result()
+
+        assert upcxx.run_spmd(body, 1) == [20]
+
+    def test_then_chain_flattens_futures(self):
+        def body():
+            f = make_future(5).then(lambda x: make_future(x + 1)).then(lambda x: x * 10)
+            return f.wait()
+
+        assert upcxx.run_spmd(body, 1) == [60]
+
+    def test_then_none_gives_empty_future(self):
+        def body():
+            f = make_future(1).then(lambda x: None)
+            assert f.ready()
+            return f.result()
+
+        assert upcxx.run_spmd(body, 1) == [None]
+
+    def test_then_on_pending_promise_runs_at_fulfill(self):
+        def body():
+            p = Promise()
+            p.require_anonymous(1)
+            f = p.finalize()
+            log = []
+            f.then(lambda: log.append("ran"))
+            assert log == []
+            p.fulfill_anonymous(1)
+            assert log == ["ran"]
+
+        upcxx.run_spmd(body, 1)
+
+    def test_when_all_then_unpacks_all_values(self):
+        def body():
+            f = when_all(make_future(1), make_future(2), make_future(3))
+            return f.then(lambda a, b, c: a + b + c).wait()
+
+        assert upcxx.run_spmd(body, 1) == [6]
+
+    def test_wait_returns_value(self):
+        def body():
+            return make_future("v").wait()
+
+        assert upcxx.run_spmd(body, 1) == ["v"]
+
+    def test_then_charges_time(self):
+        def body():
+            t0 = upcxx.sim_now()
+            make_future(1).then(lambda x: x)
+            return upcxx.sim_now() > t0
+
+        assert upcxx.run_spmd(body, 1) == [True]

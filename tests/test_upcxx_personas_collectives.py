@@ -1,0 +1,161 @@
+"""Tests for personas/LPC, progress introspection, and the extended
+collectives (gather/scatter/allgather)."""
+
+import numpy as np
+import pytest
+
+import repro.upcxx as upcxx
+
+
+class TestLpc:
+    def test_lpc_runs_during_progress(self):
+        def body():
+            log = []
+            f = upcxx.lpc(lambda: log.append("ran") or 41)
+            assert log == []  # deferred until progress
+            v = f.wait()
+            assert log == ["ran"]
+            return v + 1
+
+        assert upcxx.run_spmd(body, 1) == [42]
+
+    def test_lpc_ff(self):
+        def body():
+            log = []
+            upcxx.lpc_ff(log.append, "x")
+            upcxx.progress()
+            return log
+
+        assert upcxx.run_spmd(body, 1) == [["x"]]
+
+    def test_lpc_future_result_flattens(self):
+        def body():
+            f = upcxx.lpc(lambda: upcxx.make_future(7))
+            return f.wait()
+
+        assert upcxx.run_spmd(body, 1) == [7]
+
+    def test_master_persona_identity(self):
+        def body():
+            p1 = upcxx.master_persona()
+            p2 = upcxx.current_persona()
+            assert p1 is p2
+            assert p1.rank == upcxx.rank_me()
+
+        upcxx.run_spmd(body, 2)
+
+    def test_lpc_ordering_fifo(self):
+        def body():
+            log = []
+            for i in range(5):
+                upcxx.lpc_ff(log.append, i)
+            upcxx.progress()
+            return log
+
+        assert upcxx.run_spmd(body, 1) == [[0, 1, 2, 3, 4]]
+
+
+class TestProgressIntrospection:
+    def test_progress_required_after_lpc(self):
+        def body():
+            assert not upcxx.progress_required()
+            upcxx.lpc_ff(lambda: None)
+            assert upcxx.progress_required()
+            upcxx.discharge()
+            assert not upcxx.progress_required()
+
+        upcxx.run_spmd(body, 1)
+
+    def test_discharge_drains_everything(self):
+        def body():
+            log = []
+            for i in range(3):
+                upcxx.lpc_ff(log.append, i)
+            upcxx.discharge()
+            return len(log)
+
+        assert upcxx.run_spmd(body, 1) == [3]
+
+
+class TestGatherScatter:
+    def test_gather_to_root(self):
+        def body():
+            me = upcxx.rank_me()
+            out = upcxx.gather(me * me, root=2).wait()
+            upcxx.barrier()
+            return out
+
+        res = upcxx.run_spmd(body, 5)
+        assert res[2] == [0, 1, 4, 9, 16]
+        assert all(res[r] is None for r in (0, 1, 3, 4))
+
+    def test_allgather(self):
+        def body():
+            me = upcxx.rank_me()
+            out = upcxx.allgather(f"r{me}").wait()
+            upcxx.barrier()
+            return out
+
+        res = upcxx.run_spmd(body, 4)
+        assert all(r == ["r0", "r1", "r2", "r3"] for r in res)
+
+    def test_scatter_from_root(self):
+        def body():
+            me = upcxx.rank_me()
+            values = [i * 10 for i in range(upcxx.rank_n())] if me == 1 else None
+            got = upcxx.scatter(values, root=1).wait()
+            upcxx.barrier()
+            return got
+
+        assert upcxx.run_spmd(body, 6) == [0, 10, 20, 30, 40, 50]
+
+    def test_scatter_nonzero_root_rotated_tree(self):
+        def body():
+            me = upcxx.rank_me()
+            values = list(range(100, 100 + upcxx.rank_n())) if me == 3 else None
+            got = upcxx.scatter(values, root=3).wait()
+            upcxx.barrier()
+            return got
+
+        res = upcxx.run_spmd(body, 5)
+        assert res == [100, 101, 102, 103, 104]
+
+    def test_scatter_wrong_length_rejected(self):
+        from repro.sim.errors import RankFailure
+
+        def body():
+            upcxx.scatter([1, 2, 3], root=0).wait()  # needs rank_n() values
+            upcxx.barrier()
+
+        with pytest.raises(RankFailure):
+            upcxx.run_spmd(body, 4)
+
+    def test_gather_on_subteam(self):
+        def body():
+            me = upcxx.rank_me()
+            world = upcxx.team_world()
+            sub = world.split(color=me % 2, key=me)
+            out = upcxx.gather(me, root=0, team=sub).wait()
+            upcxx.barrier()
+            return out
+
+        res = upcxx.run_spmd(body, 4)
+        assert res[0] == [0, 2]
+        assert res[1] == [1, 3]
+
+    def test_gather_numpy_payloads(self):
+        def body():
+            me = upcxx.rank_me()
+            out = upcxx.allgather(np.full(3, float(me))).wait()
+            upcxx.barrier()
+            return float(sum(a.sum() for a in out))
+
+        assert upcxx.run_spmd(body, 3) == [9.0] * 3
+
+    def test_single_rank_collectives(self):
+        def body():
+            assert upcxx.gather("v").wait() == ["v"]
+            assert upcxx.allgather("v").wait() == ["v"]
+            assert upcxx.scatter(["only"]).wait() == "only"
+
+        upcxx.run_spmd(body, 1)

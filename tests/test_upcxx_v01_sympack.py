@@ -1,0 +1,181 @@
+"""Tests for the v0.1 emulation layer and the symPACK skeleton."""
+
+import numpy as np
+import pytest
+
+import repro.upcxx as upcxx
+from repro.apps.sparse.extend_add import build_eadd_plan, serial_eadd_reference
+from repro.apps.sparse.sympack import sympack_run
+from repro.upcxx_v01 import (
+    Event,
+    SharedArray,
+    allocate_remote,
+    async_task,
+    copy_blocking,
+)
+
+
+class TestEvent:
+    def test_event_counting(self):
+        def body():
+            ev = Event(count=2)
+            assert not ev.isdone()
+            ev.signal(1)
+            assert not ev.isdone()
+            ev.signal(1)
+            assert ev.isdone()
+            ev.wait()  # immediate
+
+        upcxx.run_spmd(body, 1)
+
+    def test_over_signal_raises(self):
+        def body():
+            ev = Event(count=1)
+            ev.signal(1)
+            with pytest.raises(RuntimeError):
+                ev.signal(1)
+
+        upcxx.run_spmd(body, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Event(count=-1)
+
+
+class TestAsync:
+    def test_async_no_return_value(self):
+        hits = []
+
+        def body():
+            if upcxx.rank_me() == 0:
+                async_task(1, lambda x: hits.append(x), 42)
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+        assert hits == [42]
+
+    def test_async_with_ack_event(self):
+        hits = []
+
+        def body():
+            if upcxx.rank_me() == 0:
+                ev = Event()
+                async_task(1, lambda: hits.append(upcxx.rank_me()), ack=ev)
+                ev.wait()
+                assert hits == [1]  # ack implies remote execution done
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+
+    def test_allocate_remote_blocking(self):
+        def body():
+            if upcxx.rank_me() == 0:
+                t0 = upcxx.sim_now()
+                g = allocate_remote(1, 256)
+                dt = upcxx.sim_now() - t0
+                assert g.rank == 1
+                assert dt > 1e-6  # a full blocking round trip
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2, ppn=1)
+
+    def test_copy_blocking_moves_bytes(self):
+        def body():
+            me = upcxx.rank_me()
+            g = upcxx.new_array(np.uint8, 16)
+            ptrs = [upcxx.broadcast(g, root=r).wait() for r in range(2)]
+            upcxx.barrier()
+            if me == 0:
+                g.local()[:] = np.frombuffer(b"0123456789abcdef", dtype=np.uint8)
+                copy_blocking(ptrs[0], ptrs[1], 16)
+            upcxx.barrier()
+            return bytes(g.local())
+
+        res = upcxx.run_spmd(body, 2)
+        assert res[1] == b"0123456789abcdef"
+
+
+class TestSharedArray:
+    def test_put_get_across_ranks(self):
+        def body():
+            me = upcxx.rank_me()
+            arr = SharedArray(10, dtype=np.int64)
+            arr.put(me, me * 11)
+            upcxx.barrier()
+            vals = [arr.get(i) for i in range(upcxx.rank_n())]
+            upcxx.barrier()
+            return vals
+
+        res = upcxx.run_spmd(body, 3)
+        assert res[0] == [0, 11, 22]
+
+    def test_owner_and_local_view(self):
+        def body():
+            arr = SharedArray(8, dtype=np.float64)
+            assert arr.owner(0) == 0
+            assert arr.owner(7) == upcxx.rank_n() - 1 if upcxx.rank_n() == 4 else True
+            lv = arr.local_view()
+            upcxx.barrier()
+            return len(lv)
+
+        res = upcxx.run_spmd(body, 4)
+        assert sum(res) == 8
+
+    def test_replicated_state_grows_with_p(self):
+        """The documented non-scalability: O(P) metadata per rank."""
+        sizes = {}
+
+        def make_body(n):
+            def body():
+                arr = SharedArray(64)
+                upcxx.barrier()
+                sizes[n] = arr.replicated_state_bytes()
+
+            return body
+
+        upcxx.run_spmd(make_body(2), 2)
+        upcxx.run_spmd(make_body(8), 8)
+        assert sizes[8] == 4 * sizes[2]
+
+    def test_bounds_checked(self):
+        def body():
+            arr = SharedArray(4)
+            upcxx.barrier()
+            with pytest.raises(IndexError):
+                arr.get(4)
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+
+
+class TestSympack:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return build_eadd_plan(4, 4, 3, n_procs=4, leaf_size=6, block=4)
+
+    def test_v1_backend_runs(self, plan):
+        times = upcxx.run_spmd(lambda: sympack_run(plan, "v1"), 4)
+        assert all(t > 0 for t in times)
+
+    def test_v01_backend_runs(self, plan):
+        times = upcxx.run_spmd(lambda: sympack_run(plan, "v01"), 4)
+        assert all(t > 0 for t in times)
+
+    def test_backends_nearly_identical(self, plan):
+        """Fig. 9's claim: the two versions perform nearly the same."""
+        t1 = max(upcxx.run_spmd(lambda: sympack_run(plan, "v1"), 4))
+        t0 = max(upcxx.run_spmd(lambda: sympack_run(plan, "v01"), 4))
+        assert abs(t1 - t0) / max(t1, t0) < 0.25
+
+    def test_v1_not_slower(self, plan):
+        """The new version "does not incur any measurable added overheads"."""
+        t1 = max(upcxx.run_spmd(lambda: sympack_run(plan, "v1"), 4))
+        t0 = max(upcxx.run_spmd(lambda: sympack_run(plan, "v01"), 4))
+        assert t1 <= t0 * 1.05
+
+    def test_unknown_backend_rejected(self, plan):
+        from repro.sim.errors import RankFailure
+
+        with pytest.raises(RankFailure) as ei:
+            upcxx.run_spmd(lambda: sympack_run(plan, "v2"), 1)
+        assert isinstance(ei.value.__cause__, ValueError)

@@ -1,0 +1,111 @@
+"""Unit tests for View semantics and the completion-object machinery."""
+
+import numpy as np
+import pytest
+
+import repro.upcxx as upcxx
+from repro.upcxx.completion import Completion, operation_cx, remote_cx, resolve
+from repro.upcxx.view import View, make_view
+
+
+class TestView:
+    def test_make_view_from_various(self):
+        assert len(make_view(np.arange(5.0))) == 5
+        assert len(make_view([1.0, 2.0])) == 2
+        v = make_view(np.arange(3))
+        assert make_view(v) is v  # idempotent
+
+    def test_iteration_and_indexing(self):
+        v = make_view(np.array([10.0, 20.0, 30.0]))
+        assert list(v) == [10.0, 20.0, 30.0]
+        assert v[1] == 20.0
+        assert v.dtype == np.float64
+        assert v.nbytes == 24
+
+    def test_from_iterable(self):
+        v = View.from_iterable(range(4), dtype=np.int64)
+        assert list(v) == [0, 1, 2, 3]
+
+    def test_noncontiguous_source_is_compacted(self):
+        a = np.arange(10.0)[::2]
+        v = make_view(a)
+        assert np.array_equal(v.to_numpy(), a)
+        assert v.to_numpy().flags["C_CONTIGUOUS"]
+
+    def test_view_through_rpc_is_window_not_copyable_alias(self):
+        """Target-side views alias the network buffer; mutating the source
+        after send must not change what the target received."""
+
+        def body():
+            if upcxx.rank_me() == 0:
+                data = np.ones(16)
+                fut = upcxx.rpc(1, lambda v: float(sum(v)), upcxx.make_view(data))
+                data[:] = 999.0  # mutate after injection
+                assert fut.wait() == 16.0
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+
+
+class TestCompletionObjects:
+    def test_default_is_future(self):
+        def body():
+            p, fut = resolve(None, upcxx.runtime_here())
+            assert fut is not None and not fut.ready()
+            p.fulfill_anonymous(1)
+            assert fut.ready()
+
+        upcxx.run_spmd(body, 1)
+
+    def test_as_promise_registers_dependency(self):
+        def body():
+            user_p = upcxx.Promise()
+            p, fut = resolve(operation_cx.as_promise(user_p), upcxx.runtime_here())
+            assert fut is None and p is user_p
+            f = user_p.finalize()
+            assert not f.ready()  # the op's dependency is pending
+            p.fulfill_anonymous(1)
+            assert f.ready()
+
+        upcxx.run_spmd(body, 1)
+
+    def test_remote_only_has_no_local_tracking(self):
+        def body():
+            p, fut = resolve(remote_cx.as_rpc(lambda: None), upcxx.runtime_here())
+            assert p is None and fut is None
+
+        upcxx.run_spmd(body, 1)
+
+    def test_with_remote_rpc_combination(self):
+        cx = operation_cx.as_future().with_remote_rpc(print, 1, 2)
+        assert cx.kind == "future"
+        assert cx.remote_rpc[1] == (1, 2)
+
+    def test_unknown_kind_rejected(self):
+        def body():
+            with pytest.raises(ValueError):
+                resolve(Completion(kind="smoke"), upcxx.runtime_here())
+
+        upcxx.run_spmd(body, 1)
+
+    def test_one_promise_many_mixed_ops(self):
+        """A single promise can track rputs AND atomics together."""
+
+        def body():
+            me = upcxx.rank_me()
+            g = upcxx.new_array(np.int64, 8)
+            g.local()[:] = 0
+            ptrs = [upcxx.broadcast(g, root=r).wait() for r in range(2)]
+            ad = upcxx.AtomicDomain(["add"], np.int64)
+            upcxx.barrier()
+            if me == 0:
+                p = upcxx.Promise()
+                upcxx.rput(7, ptrs[1][0], cx=operation_cx.as_promise(p))
+                ad.add(ptrs[1][1], 5, cx=operation_cx.as_promise(p))
+                upcxx.rget(ptrs[1][0], cx=operation_cx.as_promise(p))
+                p.finalize().wait()
+            upcxx.barrier()
+            return list(map(int, g.local()[:2]))
+
+        res = upcxx.run_spmd(body, 2)
+        assert res[1] == [7, 5]

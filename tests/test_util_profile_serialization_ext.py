@@ -1,0 +1,101 @@
+"""Tests for the profiling module and the custom-serialization registry."""
+
+import numpy as np
+import pytest
+
+import repro.upcxx as upcxx
+from repro.upcxx import serialization as ser
+from repro.upcxx.serialization import register_serialization, serializable_fields
+from repro.util.profile import RankProfile, RunProfile, profile_spmd
+
+
+class TestProfile:
+    def test_profile_spmd_counts_operations(self):
+        def body():
+            me = upcxx.rank_me()
+            g = upcxx.new_array(np.float64, 4)
+            ptrs = [upcxx.broadcast(g, root=r).wait() for r in range(upcxx.rank_n())]
+            upcxx.barrier()
+            upcxx.rput(np.ones(4), ptrs[(me + 1) % upcxx.rank_n()]).wait()
+            upcxx.rpc((me + 1) % upcxx.rank_n(), lambda: None).wait()
+            upcxx.barrier()
+
+        prof = profile_spmd(body, 4)
+        t = prof.totals()
+        assert t["rputs"] == 4
+        assert t["rpcs_sent"] >= 4  # explicit rpcs plus collective traffic
+        assert t["rpcs_executed"] == t["rpcs_sent"]
+        assert prof.imbalance() >= 1.0
+        report = prof.report()
+        assert "rputs: 4" in report
+        assert "bytes on the wire" in report
+
+    def test_rank_profile_delta(self):
+        a = RankProfile(rank=0, rputs=2, rpcs_sent=5, sim_time=1.0)
+        b = RankProfile(rank=0, rputs=7, rpcs_sent=6, sim_time=3.0)
+        d = b.delta(a)
+        assert d.rputs == 5 and d.rpcs_sent == 1 and d.sim_time == 2.0
+
+    def test_delta_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RankProfile(rank=0).delta(RankProfile(rank=1))
+
+    def test_empty_profile_report(self):
+        prof = RunProfile()
+        assert prof.imbalance() == 1.0
+        assert "ranks: 0" in prof.report()
+
+
+@serializable_fields("key", "weight")
+class _Edge:
+    def __init__(self, key, weight):
+        self.key = key
+        self.weight = weight
+
+    def __eq__(self, other):
+        return (self.key, self.weight) == (other.key, other.weight)
+
+
+class _Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+
+register_serialization(
+    _Point,
+    to_wire=lambda p: {"x": p.x, "y": p.y},
+    from_wire=lambda d: _Point(d["x"], d["y"]),
+)
+
+
+class TestCustomSerialization:
+    def test_fields_decorator_roundtrip(self):
+        e = _Edge("ab", 2.5)
+        out = ser.unpack(ser.pack(e))
+        assert isinstance(out, _Edge)
+        assert out == e
+
+    def test_explicit_registration_roundtrip(self):
+        p = _Point(3, 4)
+        out = ser.unpack(ser.pack(p))
+        assert isinstance(out, _Point)
+        assert (out.x, out.y) == (3, 4)
+
+    def test_nested_in_containers(self):
+        obj = {"edges": [_Edge("a", 1.0), _Edge("b", 2.0)]}
+        out = ser.unpack(ser.pack(obj))
+        assert out["edges"][0] == _Edge("a", 1.0)
+
+    def test_custom_classes_ship_through_rpc(self):
+        def body():
+            if upcxx.rank_me() == 0:
+                got = upcxx.rpc(1, lambda e: e.weight * 2, _Edge("k", 21.0)).wait()
+                assert got == 42.0
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+
+    def test_measure_covers_custom(self):
+        e = _Edge("abc", 1.5)
+        assert ser.measure(e) == len(ser.pack(e))
