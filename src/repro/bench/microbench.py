@@ -22,6 +22,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 import repro.upcxx as upcxx
+from repro.bench.harness import Observation
 from repro.mpisim import Win, comm_world, run_mpi
 from repro.upcxx import operation_cx
 from repro.util.records import BenchTable
@@ -42,7 +43,13 @@ def _flood_iters(size: int, base: int) -> int:
 
 
 # ------------------------------------------------------------------- UPC++
-def upcxx_put_latency(sizes: Sequence[int] = FIG3_SIZES, iters: int = 20, platform: str = "haswell") -> Dict[int, float]:
+def upcxx_put_latency(
+    sizes: Sequence[int] = FIG3_SIZES,
+    iters: int = 20,
+    platform: str = "haswell",
+    metrics=None,
+    trace=None,
+) -> Dict[int, float]:
     """Mean blocking-rput round-trip time per size (seconds)."""
     out: Dict[int, float] = {}
 
@@ -61,11 +68,17 @@ def upcxx_put_latency(sizes: Sequence[int] = FIG3_SIZES, iters: int = 20, platfo
                 out[size] = (upcxx.sim_now() - t0) / iters
         upcxx.barrier()
 
-    upcxx.run_spmd(body, 2, platform=platform, ppn=1)
+    upcxx.run_spmd(body, 2, platform=platform, ppn=1, metrics=metrics, trace=trace)
     return out
 
 
-def upcxx_flood_bw(sizes: Sequence[int] = FIG3_SIZES, iters: int = 64, platform: str = "haswell") -> Dict[int, float]:
+def upcxx_flood_bw(
+    sizes: Sequence[int] = FIG3_SIZES,
+    iters: int = 64,
+    platform: str = "haswell",
+    metrics=None,
+    trace=None,
+) -> Dict[int, float]:
     """Flood put bandwidth per size (bytes/second), promise-tracked."""
     out: Dict[int, float] = {}
 
@@ -91,7 +104,7 @@ def upcxx_flood_bw(sizes: Sequence[int] = FIG3_SIZES, iters: int = 64, platform:
                 out[size] = size * n / (upcxx.sim_now() - t0)
         upcxx.barrier()
 
-    upcxx.run_spmd(body, 2, platform=platform, ppn=1)
+    upcxx.run_spmd(body, 2, platform=platform, ppn=1, metrics=metrics, trace=trace)
     return out
 
 
@@ -227,7 +240,10 @@ def run_fig3a(sizes: Sequence[int] = FIG3_SIZES, iters: int = 20) -> BenchTable:
         x_name="size",
         y_name="latency (us)",
     )
-    u = upcxx_put_latency(sizes, iters)
+    obs = Observation.maybe("fig3a_put_latency")
+    u = upcxx_put_latency(sizes, iters, metrics=obs and obs.metrics, trace=obs and obs.trace)
+    if obs is not None:
+        obs.save()
     m = mpi_put_latency(sizes, iters)
     su = table.new_series("UPC++ rput")
     sm = table.new_series("MPI RMA Put")
@@ -244,7 +260,10 @@ def run_fig3b(sizes: Sequence[int] = FIG3_SIZES, iters: int = 64) -> BenchTable:
         x_name="size",
         y_name="bandwidth (GiB/s)",
     )
-    u = upcxx_flood_bw(sizes, iters)
+    obs = Observation.maybe("fig3b_flood_bw")
+    u = upcxx_flood_bw(sizes, iters, metrics=obs and obs.metrics, trace=obs and obs.trace)
+    if obs is not None:
+        obs.save()
     m = mpi_flood_bw(sizes, iters)
     su = table.new_series("UPC++ rput")
     sm = table.new_series("MPI RMA Put")

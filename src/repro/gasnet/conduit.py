@@ -94,6 +94,7 @@ class Conduit:
         machine: Machine,
         network: NetworkModel,
         segment_size: int = 32 * 1024 * 1024,
+        metrics=None,
     ):
         if machine.n_ranks < sched.n_ranks:
             raise ValueError(
@@ -102,6 +103,8 @@ class Conduit:
         self.sched = sched
         self.machine = machine
         self.network = network
+        #: optional repro.util.metrics.Metrics for NIC injection accounting
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
         self.endpoints = [_Endpoint(r, segment_size) for r in range(sched.n_ranks)]
 
     # -------------------------------------------------------------- accessors
@@ -159,6 +162,10 @@ class Conduit:
         ep.nic_free_at = begin + occ
         ep.bytes_out += nbytes
         arrival = begin + occ + self.network.latency(same)
+        if self.metrics is not None:
+            # wire time = occupancy; backpressure = time spent queued behind
+            # earlier injections on this NIC before the wire was free
+            self.metrics.rank(src).nic_injected(nbytes, occ, begin - start)
         return begin + occ, arrival
 
     # ------------------------------------------------------------------- put
@@ -232,6 +239,9 @@ class Conduit:
             occ = self.network.occupancy(nbytes, path, same) * occ_scale
             dst_ep.nic_free_at = begin + occ
             back = begin + occ + self.network.latency(same)
+            if self.metrics is not None:
+                # the reply stream occupies the *destination* NIC
+                self.metrics.rank(dst).nic_injected(nbytes, occ, begin - req_arrival)
             self.sched.post_at(back, lambda: handle.complete(back, data=data))
 
         self.sched.post_at(req_arrival, service_request)
@@ -271,6 +281,9 @@ class Conduit:
             token=token,
             meta=dict(meta) if meta else {},
         )
+        if self.metrics is not None:
+            # lets the receiver account wire time (active -> complete dwell)
+            msg.meta["t_injected"] = now
         inbox = self.endpoints[dst].inbox
 
         def deliver():

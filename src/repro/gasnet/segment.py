@@ -53,11 +53,14 @@ class Segment:
     def allocate(self, nbytes: int) -> int:
         """Allocate ``nbytes``; returns the segment offset.
 
-        Raises :class:`SegmentAllocationError` when no hole fits.
+        ``nbytes == 0`` is legal (UPC++ ``allocate(0)``/``new_array<T>(0)``
+        are): it consumes one alignment unit so the returned offset is a
+        distinct, freeable allocation.  Raises
+        :class:`SegmentAllocationError` when no hole fits.
         """
-        if nbytes <= 0:
-            raise ValueError(f"allocation size must be positive, got {nbytes}")
-        need = self._round(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        need = self._round(nbytes) if nbytes else self.align
         for i, (off, length) in enumerate(self._free):
             if length >= need:
                 if length == need:

@@ -38,18 +38,27 @@ def run_spmd(
     segment_size: int = 32 * 1024 * 1024,
     seed: int = 0,
     max_time: float = 1e6,
+    metrics=None,
+    trace=None,
 ) -> List[object]:
     """Run ``fn`` as an SPMD program on ``ranks`` simulated processes.
 
     Inside ``fn``, the full UPC++ API is available (``rank_me``, ``rput``,
     ``rpc`` ...).  Returns the list of per-rank return values.
+
+    Observability: pass ``metrics`` (a :class:`repro.util.Metrics`) to
+    collect per-rank op-lifecycle metrics, and/or ``trace`` (a
+    :class:`repro.util.TraceBuffer`) to record scheduler/progress events —
+    exportable to a Perfetto/Chrome trace via
+    :func:`repro.util.export_chrome_trace`.  Both default to off and cost
+    nothing when absent.
     """
     ppn = ppn if ppn is not None else default_ppn(platform)
     machine = Machine.for_ranks(ranks, ppn, name=platform)
     network = network if network is not None else AriesNetwork()
     cpu = cpu if cpu is not None else platform_cpu(platform)
-    sched = Scheduler(ranks, max_time=max_time)
-    world = World(sched, machine, network, cpu, costs, segment_size, seed)
+    sched = Scheduler(ranks, trace=trace, max_time=max_time)
+    world = World(sched, machine, network, cpu, costs, segment_size, seed, metrics=metrics)
 
     def bootstrap(rank: int):
         rt = Runtime(world, rank)

@@ -67,6 +67,7 @@ class AtomicDomain:
         def injector():
             opid = rt.next_op_id()
             rt.actQ[opid] = f"amo {op} -> {gptr.rank}"
+            t_active = rt.now()
             handle = rt.conduit.amo(rt.rank, gptr.rank, gptr.offset, conduit_op, self.dtype, operands)
 
             def on_done(h):
@@ -81,12 +82,21 @@ class AtomicDomain:
                     else:
                         promise.fulfill_result()
 
-                rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "amo"))
+                rt.gasnet_completed(
+                    CompQItem(
+                        rt.cpu.t(rt.costs.completion),
+                        fulfill,
+                        "amo",
+                        self.dtype.itemsize,
+                        t_active,
+                    ),
+                    h.time_done,
+                )
                 rt.sched.wake(rt.rank, h.time_done)
 
             handle.on_complete(on_done)
 
-        rt.enqueue_deferred(injector)
+        rt.enqueue_deferred(injector, kind="amo", nbytes=self.dtype.itemsize)
         rt.internal_progress()
         return fut
 

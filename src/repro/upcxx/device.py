@@ -120,7 +120,9 @@ def copy(
                 promise.fulfill_anonymous(1)
 
         def cb():
-            rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "copy"))
+            rt.gasnet_completed(
+                CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "copy", nbytes), t
+            )
             rt.sched.wake(me, t)
 
         rt.sched.post_at(t, cb)

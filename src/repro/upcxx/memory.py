@@ -16,7 +16,11 @@ from repro.upcxx.runtime import current_runtime
 
 
 def allocate(nbytes: int, rt=None) -> GlobalPtr:
-    """Allocate ``nbytes`` of uninitialized local shared memory."""
+    """Allocate ``nbytes`` of uninitialized local shared memory.
+
+    ``nbytes == 0`` is legal (as in UPC++): the pointer is valid, distinct,
+    and deallocatable, and zero-byte rput/rget through it are no-ops.
+    """
     rt = rt or current_runtime()
     rt.charge_sw(rt.costs.alloc)
     off = rt.conduit.segment(rt.rank).allocate(nbytes)
@@ -24,11 +28,14 @@ def allocate(nbytes: int, rt=None) -> GlobalPtr:
 
 
 def new_array(dtype, count: int, rt=None) -> GlobalPtr:
-    """Allocate a typed array in local shared memory (``upcxx::new_array``)."""
+    """Allocate a typed array in local shared memory (``upcxx::new_array``).
+
+    ``count == 0`` is legal, mirroring ``new T[0]``.
+    """
     rt = rt or current_runtime()
     dt = np.dtype(dtype)
-    if count <= 0:
-        raise ValueError(f"count must be positive, got {count}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
     rt.charge_sw(rt.costs.alloc)
     off = rt.conduit.segment(rt.rank).allocate(dt.itemsize * count)
     return GlobalPtr(rt.rank, off, dt, count)

@@ -69,6 +69,7 @@ def rput(
     def injector():
         opid = rt.next_op_id()
         rt.actQ[opid] = f"rput {nbytes}B -> {dest.rank}"
+        t_active = rt.now()
 
         on_remote_commit = None
         if remote_rpc is not None:
@@ -82,8 +83,10 @@ def rput(
                     cost=target_rt.cpu.t(target_rt.costs.rpc_dispatch),
                     fn=lambda: fn(*args),
                     kind="remote_cx_rpc",
+                    nbytes=nbytes,
+                    t_active=t_active,
                 )
-                target_rt.gasnet_completed(item)
+                target_rt.gasnet_completed(item, arrival)
                 rt.sched.wake(dst_rank, arrival)
 
         handle = rt.conduit.put_nb(
@@ -96,12 +99,15 @@ def rput(
                 if promise is not None:
                     promise.fulfill_anonymous(1)
 
-            rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rput"))
+            rt.gasnet_completed(
+                CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rput", nbytes, t_active),
+                h.time_done,
+            )
             rt.sched.wake(rt.rank, h.time_done)
 
         handle.on_complete(on_done)
 
-    rt.enqueue_deferred(injector)
+    rt.enqueue_deferred(injector, kind="rput", nbytes=nbytes)
     rt.internal_progress()
     return fut
 
@@ -119,7 +125,8 @@ def rget(
     """
     rt = current_runtime()
     n = src.count if count is None else count
-    if n <= 0 or n > src.count:
+    # n == 0 is legal (a zero-length get completes as a no-op transfer)
+    if n < 0 or n > src.count:
         raise GlobalPtrError(f"rget of {n} elements outside span of {src.count}")
     nbytes = n * src.itemsize
     rt.n_rgets += 1
@@ -134,6 +141,7 @@ def rget(
     def injector():
         opid = rt.next_op_id()
         rt.actQ[opid] = f"rget {nbytes}B <- {src.rank}"
+        t_active = rt.now()
         handle = rt.conduit.get_nb(rt.rank, src.rank, src.offset, nbytes, path)
 
         def on_done(h):  # network context
@@ -150,12 +158,15 @@ def rget(
                 value = arr[0].item() if scalar else arr.copy()
                 promise.fulfill_result(value)
 
-            rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rget"))
+            rt.gasnet_completed(
+                CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rget", nbytes, t_active),
+                h.time_done,
+            )
             rt.sched.wake(rt.rank, h.time_done)
 
         handle.on_complete(on_done)
 
-    rt.enqueue_deferred(injector)
+    rt.enqueue_deferred(injector, kind="rget", nbytes=nbytes)
     rt.internal_progress()
     return fut
 

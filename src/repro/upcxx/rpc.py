@@ -131,7 +131,9 @@ def _inject_am(
         handle = rt.conduit.am_send(rt.rank, target, tag, payload, nbytes=nbytes)
         handle.on_complete(lambda h: rt.actQ.pop(opid, None))
 
-    rt.enqueue_deferred(injector)
+    # metrics kind: the tag minus its "upcxx." namespace, so injection and
+    # execution of the same op family share one name ("rpc", "rpc_reply")
+    rt.enqueue_deferred(injector, kind=tag.split(".", 1)[-1], nbytes=nbytes)
     rt.internal_progress()
 
 
@@ -228,7 +230,7 @@ def _dispatch_rpc(rt: Runtime, msg) -> CompQItem:
     """Build the compQ item for an arrived RPC request."""
     payload = msg.payload
     cost = rt.cpu.t(rt.costs.rpc_dispatch) + rt.cpu.copy_time(payload["copy_bytes"])
-    return CompQItem(cost, lambda: _execute_rpc_body(rt, payload), "rpc")
+    return CompQItem(cost, lambda: _execute_rpc_body(rt, payload), "rpc", nbytes=msg.nbytes)
 
 
 def _dispatch_rpc_reply(rt: Runtime, msg) -> CompQItem:
@@ -243,7 +245,7 @@ def _dispatch_rpc_reply(rt: Runtime, msg) -> CompQItem:
         promise.fulfill_result(*values)
 
     cost = rt.cpu.t(rt.costs.completion) + rt.cpu.copy_time(len(payload["raw"]))
-    return CompQItem(cost, run, "rpc-reply")
+    return CompQItem(cost, run, "rpc_reply", nbytes=msg.nbytes)
 
 
 register_am("upcxx.rpc", _dispatch_rpc)

@@ -39,14 +39,32 @@ from repro.upcxx.future import Future
 
 
 class CompQItem:
-    """One entry of compQ: a CPU charge plus a rank-context thunk."""
+    """One entry of compQ: a CPU charge plus a rank-context thunk.
 
-    __slots__ = ("cost", "fn", "kind")
+    ``nbytes``/``t_active``/``t_staged`` are optional observability tags:
+    payload size, the time the operation became *active* (handed to the
+    conduit), and the time its completion was staged for promotion.  They
+    feed the op-lifecycle dwell histograms when metrics are enabled and
+    cost nothing otherwise.
+    """
 
-    def __init__(self, cost: float, fn: Callable[[], None], kind: str = "op"):
+    __slots__ = ("cost", "fn", "kind", "nbytes", "t_active", "t_staged")
+
+    def __init__(
+        self,
+        cost: float,
+        fn: Callable[[], None],
+        kind: str = "op",
+        nbytes: int = 0,
+        t_active: Optional[float] = None,
+        t_staged: Optional[float] = None,
+    ):
         self.cost = cost  # seconds, already platform-scaled
         self.fn = fn
         self.kind = kind
+        self.nbytes = nbytes
+        self.t_active = t_active
+        self.t_staged = t_staged
 
 
 class World:
@@ -61,6 +79,7 @@ class World:
         costs: UpcxxCosts = DEFAULT_COSTS,
         segment_size: int = 32 * 1024 * 1024,
         seed: int = 0,
+        metrics=None,
     ):
         self.sched = sched
         self.machine = machine
@@ -68,7 +87,9 @@ class World:
         self.cpu = cpu
         self.costs = costs
         self.seed = seed
-        self.conduit = Conduit(sched, machine, network, segment_size)
+        #: optional repro.util.metrics.Metrics collecting op-lifecycle data
+        self.metrics = metrics if metrics is not None and metrics.enabled else None
+        self.conduit = Conduit(sched, machine, network, segment_size, metrics=self.metrics)
         self.n_ranks = sched.n_ranks
         self.runtimes: List[Optional["Runtime"]] = [None] * self.n_ranks
         #: next team uid (uids are assigned collectively & deterministically)
@@ -86,9 +107,13 @@ class Runtime:
         self.costs = world.costs
         self.conduit = world.conduit
         self.rng = RankRandom(world.seed, rank, salt="upcxx")
+        #: per-rank metrics sink (None when observability is off)
+        self.metrics = world.metrics.rank(rank) if world.metrics is not None else None
+        #: scheduler trace buffer (records only when the buffer is enabled)
+        self._trace = world.sched.trace
 
         # §III queues
-        self.defQ: deque = deque()  # callables: op injectors
+        self.defQ: deque = deque()  # (injector, kind, nbytes, t_enqueued)
         self.actQ: dict = {}  # opid -> description (diagnostics)
         self.compQ: deque = deque()  # CompQItem
         #: network-context staging area: conduit-completed ops waiting for
@@ -147,12 +172,26 @@ class Runtime:
         self._token_seq += 1
         return self._token_seq
 
-    def enqueue_deferred(self, injector: Callable[[], None]) -> None:
-        """Put an operation in the deferred state (defQ)."""
-        self.defQ.append(injector)
+    def enqueue_deferred(self, injector: Callable[[], None], kind: str = "op", nbytes: int = 0) -> None:
+        """Put an operation in the deferred state (defQ).
 
-    def gasnet_completed(self, item: CompQItem) -> None:
-        """Network context: a conduit op finished; stage for promotion."""
+        ``kind``/``nbytes`` tag the operation for the metrics layer (op
+        counts, byte totals, deferred-dwell histograms); they do not affect
+        execution.
+        """
+        t_enq = self.sched.now() if self.metrics is not None else 0.0
+        self.defQ.append((injector, kind, nbytes, t_enq))
+
+    def gasnet_completed(self, item: CompQItem, t_complete: Optional[float] = None) -> None:
+        """Network context: a conduit op finished; stage for promotion.
+
+        ``t_complete`` is the network-context completion time (e.g. the
+        handle's ``time_done``); it stamps the item for complete→fulfilled
+        dwell accounting.  Network context must not read a rank clock, so
+        the time travels as an explicit argument.
+        """
+        if t_complete is not None:
+            item.t_staged = t_complete
         self._gasnet_done.append(item)
 
     def enqueue_complete(self, item: CompQItem) -> None:
@@ -168,8 +207,15 @@ class Runtime:
         """
         # ensure due network events have been delivered at our clock
         self.sched.checkpoint()
+        m = self.metrics
+        if m is not None:
+            m.sample_queues(
+                self.sched.now(), len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)
+            )
         while self.defQ:
-            injector = self.defQ.popleft()
+            injector, kind, nbytes, t_enq = self.defQ.popleft()
+            if m is not None:
+                m.op_injected(kind, nbytes, self.sched.now() - t_enq)
             injector()
         while self._gasnet_done:
             self.compQ.append(self._gasnet_done.popleft())
@@ -180,21 +226,49 @@ class Runtime:
             handler = _AM_DISPATCH.get(msg.tag)
             if handler is None:
                 raise NotInSpmdError(f"no dispatcher for AM tag {msg.tag!r}")
-            self.compQ.append(handler(self, msg))
+            if m is not None:
+                m.am_polled(msg.tag, now - msg.arrival)
+            if self._trace.enabled:
+                self._trace.record(now, self.rank, "am", msg.tag)
+            item = handler(self, msg)
+            if item.t_staged is None:
+                item.t_staged = msg.arrival
+            if item.t_active is None:
+                item.t_active = msg.meta.get("t_injected")
+            self.compQ.append(item)
+        if m is not None:
+            m.sample_queues(
+                now, len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)
+            )
 
     def progress(self) -> None:
         """User-level progress: also executes compQ to completion."""
         self.n_progress_calls += 1
+        m = self.metrics
+        if m is not None:
+            m.user_progress(self.sched.now())
         self.charge_sw(self.costs.progress_poll)
         self.internal_progress()
         while self.compQ:
             item = self.compQ.popleft()
             if item.cost > 0:
                 self.sched.charge(item.cost)
+            if m is not None:
+                m.op_executed(item, self.sched.now())
+            if self._trace.enabled:
+                self._trace.record(self.sched.now(), self.rank, "exec", item.kind)
             item.fn()
+            # completions staged in network context while this item executed
+            # (acks that arrived during its CPU charge or nested injections)
+            # must not wait for compQ to drain: promote them immediately so
+            # their fulfillment time reflects attentiveness, not queue depth.
+            while self._gasnet_done:
+                self.compQ.append(self._gasnet_done.popleft())
             if not self.compQ:
                 # executing items may have injected ops / received arrivals
                 self.internal_progress()
+        if m is not None:
+            m.user_progress_done(self.sched.now())
 
     def wait_on(self, fut: Future) -> None:
         """Spin around user progress until ``fut`` is ready (paper: wait)."""

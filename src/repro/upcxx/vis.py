@@ -59,6 +59,7 @@ def rput_irregular(
     def injector():
         opid = rt.next_op_id()
         rt.actQ[opid] = f"rput_irregular {len(frags)} frags -> {dst_rank}"
+        t_active = rt.now()
         state = {"left": len(frags)}
 
         def on_done(h):
@@ -71,13 +72,16 @@ def rput_irregular(
                 if promise is not None:
                     promise.fulfill_anonymous(1)
 
-            rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "vis"))
+            rt.gasnet_completed(
+                CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "vis", total, t_active),
+                h.time_done,
+            )
             rt.sched.wake(rt.rank, h.time_done)
 
         for gptr, raw in frags:
             rt.conduit.put_nb(rt.rank, dst_rank, gptr.offset, raw, path).on_complete(on_done)
 
-    rt.enqueue_deferred(injector)
+    rt.enqueue_deferred(injector, kind="rput_irregular", nbytes=total)
     rt.internal_progress()
     return fut
 
@@ -105,6 +109,7 @@ def rget_irregular(
     def injector():
         opid = rt.next_op_id()
         rt.actQ[opid] = f"rget_irregular {len(frags)} frags <- {src_rank}"
+        t_active = rt.now()
         results: List[Optional[np.ndarray]] = [None] * len(frags)
         state = {"left": len(frags)}
 
@@ -124,7 +129,10 @@ def rget_irregular(
                     else:
                         promise.fulfill_result(list(results))
 
-                rt.gasnet_completed(CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "vis"))
+                rt.gasnet_completed(
+                    CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "vis", total, t_active),
+                    h.time_done,
+                )
                 rt.sched.wake(rt.rank, h.time_done)
 
             return on_done
@@ -134,7 +142,7 @@ def rget_irregular(
                 make_cb(i, gptr)
             )
 
-    rt.enqueue_deferred(injector)
+    rt.enqueue_deferred(injector, kind="rget_irregular", nbytes=total)
     rt.internal_progress()
     return fut
 

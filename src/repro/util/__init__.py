@@ -20,6 +20,13 @@ from repro.util.units import (
 from repro.util.stats import Summary, summarize, geomean, speedup
 from repro.util.records import BenchSeries, BenchTable, format_table
 from repro.util.trace import TraceBuffer, TraceEvent
+from repro.util.metrics import DwellHistogram, Metrics, RankMetrics
+from repro.util.trace_export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    dumps_metrics,
+    export_chrome_trace,
+)
 
 __all__ = [
     "KiB",
@@ -41,4 +48,11 @@ __all__ = [
     "format_table",
     "TraceBuffer",
     "TraceEvent",
+    "Metrics",
+    "RankMetrics",
+    "DwellHistogram",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "dumps_metrics",
+    "export_chrome_trace",
 ]

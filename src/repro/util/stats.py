@@ -30,18 +30,32 @@ class Summary:
 
 
 def summarize(samples: Sequence[float]) -> Summary:
-    """Compute a :class:`Summary` for a non-empty sample sequence."""
-    xs = sorted(float(x) for x in samples)
+    """Compute a :class:`Summary` for a non-empty sample sequence.
+
+    Samples must be finite: a NaN would sort arbitrarily (every comparison
+    against it is false), silently corrupting min/median/best for any
+    figure built on the summary, so NaN/inf raise :class:`ValueError`
+    instead.
+    """
+    xs = []
+    for x in samples:
+        v = float(x)
+        if not math.isfinite(v):
+            raise ValueError(f"summarize() requires finite samples, got {v!r}")
+        xs.append(v)
     if not xs:
         raise ValueError("summarize() requires at least one sample")
+    xs.sort()
     n = len(xs)
-    mean = sum(xs) / n
+    # fsum + clamping: a naive sum()/n can land one ulp outside [min, max]
+    # (e.g. three identical samples), breaking min <= mean <= max
+    mean = min(max(math.fsum(xs) / n, xs[0]), xs[-1])
     if n % 2:
         median = xs[n // 2]
     else:
         median = 0.5 * (xs[n // 2 - 1] + xs[n // 2])
     if n > 1:
-        var = sum((x - mean) ** 2 for x in xs) / (n - 1)
+        var = math.fsum((x - mean) ** 2 for x in xs) / (n - 1)
     else:
         var = 0.0
     return Summary(
@@ -58,6 +72,9 @@ def geomean(samples: Iterable[float]) -> float:
     """Geometric mean of strictly positive samples."""
     logs = []
     for x in samples:
+        x = float(x)
+        if not math.isfinite(x):
+            raise ValueError(f"geomean requires finite samples, got {x!r}")
         if x <= 0:
             raise ValueError(f"geomean requires positive samples, got {x}")
         logs.append(math.log(x))

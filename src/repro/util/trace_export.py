@@ -1,0 +1,132 @@
+"""Chrome/Perfetto trace export for simulated runs.
+
+Converts a :class:`~repro.util.trace.TraceBuffer` (and optionally a
+:class:`~repro.util.metrics.Metrics`) into the Chrome Trace Event JSON
+format, loadable in ``ui.perfetto.dev`` or ``chrome://tracing`` with one
+lane (tid) per rank:
+
+- scheduler ``block``/``resume`` pairs become complete ("X") duration
+  events named by the block reason, so idle/waiting intervals are visible
+  as spans;
+- every other trace event becomes a thread-scoped instant ("i") event
+  (AM polls, compQ executions, user annotations);
+- metrics queue-depth samples become counter ("C") tracks, one per rank,
+  plotting defQ/actQ/compQ/staged depths over time.
+
+Timestamps are microseconds of *simulated* time.  Export is a pure
+function of the inputs: two same-seed runs produce byte-identical JSON
+(pinned by ``tests/test_examples_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from repro.util.metrics import Metrics, QUEUE_NAMES
+from repro.util.trace import TraceBuffer
+
+#: simulated seconds -> trace microseconds
+_US = 1e6
+
+
+def chrome_trace_events(trace: TraceBuffer, metrics: Optional[Metrics] = None) -> List[dict]:
+    """Build the ``traceEvents`` list (one lane per rank)."""
+    events: List[dict] = []
+    ranks = sorted({ev.rank for ev in trace})
+    if metrics is not None:
+        ranks = sorted(set(ranks) | {rm.rank for rm in metrics.ranks})
+    for r in ranks:
+        events.append(
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": r, "args": {"name": f"rank {r}"}}
+        )
+
+    open_block: dict = {}
+    for ev in trace:
+        if ev.kind == "block":
+            # an unmatched earlier block (abort path) degrades to an instant
+            prev = open_block.pop(ev.rank, None)
+            if prev is not None:
+                events.append(_instant(prev))
+            open_block[ev.rank] = ev
+        elif ev.kind == "resume" and ev.rank in open_block:
+            b = open_block.pop(ev.rank)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": b.detail or "blocked",
+                    "cat": "sched",
+                    "pid": 0,
+                    "tid": ev.rank,
+                    "ts": b.time * _US,
+                    "dur": (ev.time - b.time) * _US,
+                }
+            )
+        else:
+            events.append(_instant(ev))
+    for ev in open_block.values():
+        events.append(_instant(ev))
+
+    if metrics is not None:
+        for rm in metrics.ranks:
+            name = f"rank {rm.rank} queues"
+            for sample in rm.queue_samples:
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "cat": "queues",
+                        "pid": 0,
+                        "tid": rm.rank,
+                        "ts": sample[0] * _US,
+                        "args": dict(zip(QUEUE_NAMES, sample[1:])),
+                    }
+                )
+
+    events.sort(key=lambda e: (e.get("ts", -1.0), e["tid"], e["ph"], e["name"]))
+    return events
+
+
+def _instant(ev) -> dict:
+    out = {
+        "ph": "i",
+        "s": "t",
+        "name": ev.kind,
+        "cat": "sim",
+        "pid": 0,
+        "tid": ev.rank,
+        "ts": ev.time * _US,
+    }
+    if ev.detail:
+        out["args"] = {"detail": ev.detail}
+    return out
+
+
+def chrome_trace(trace: TraceBuffer, metrics: Optional[Metrics] = None) -> dict:
+    """The full Chrome Trace Event JSON document."""
+    return {"displayTimeUnit": "ms", "traceEvents": chrome_trace_events(trace, metrics)}
+
+
+def dumps_chrome_trace(trace: TraceBuffer, metrics: Optional[Metrics] = None) -> str:
+    """Deterministic JSON text of the trace (byte-stable across runs)."""
+    return json.dumps(chrome_trace(trace, metrics), sort_keys=True, separators=(",", ":"))
+
+
+def export_chrome_trace(
+    dest: Union[str, IO[str]],
+    trace: TraceBuffer,
+    metrics: Optional[Metrics] = None,
+) -> Union[str, IO[str]]:
+    """Write the trace JSON to ``dest`` (a path or open text file)."""
+    text = dumps_chrome_trace(trace, metrics)
+    if isinstance(dest, str):
+        with open(dest, "w") as fh:
+            fh.write(text)
+    else:
+        dest.write(text)
+    return dest
+
+
+def dumps_metrics(metrics: Metrics) -> str:
+    """Deterministic JSON text of a metrics export."""
+    return json.dumps(metrics.as_dict(), sort_keys=True, separators=(",", ":"))

@@ -77,6 +77,28 @@ class TestDeterminism:
 
         assert run() == run()
 
+    def test_metrics_and_trace_export_byte_identical(self):
+        """Two same-seed aggregating-DHT runs must serialize to the exact
+        same metrics JSON and Perfetto trace JSON."""
+        from repro.bench.dht_bench import dht_aggregating_rate
+        from repro.util.metrics import Metrics
+        from repro.util.trace import TraceBuffer
+        from repro.util.trace_export import dumps_chrome_trace, dumps_metrics
+
+        def run():
+            metrics = Metrics()
+            trace = TraceBuffer()
+            rate = dht_aggregating_rate(
+                n_procs=4, updates_per_rank=48, seed=3, metrics=metrics, trace=trace
+            )
+            return rate, dumps_metrics(metrics), dumps_chrome_trace(trace, metrics)
+
+        r1, m1, t1 = run()
+        r2, m2, t2 = run()
+        assert r1 == r2
+        assert m1 == m2
+        assert t1 == t2
+
     def test_trace_fingerprint_stable(self):
         from repro.sim.coop import Scheduler, current_scheduler
         from repro.util.trace import TraceBuffer

@@ -77,10 +77,80 @@ def test_double_free_rejected():
         seg.deallocate(off)
 
 
-def test_zero_size_alloc_rejected():
+def test_zero_size_alloc_legal_and_distinct():
+    # UPC++ allocate(0)/new_array<T>(0) are legal: the pointer is valid,
+    # distinct, and freeable (it consumes one alignment unit internally)
+    seg = Segment(1024, owner_rank=0, align=64)
+    a = seg.allocate(0)
+    b = seg.allocate(0)
+    assert a != b
+    assert seg.is_live(a) and seg.is_live(b)
+    seg.deallocate(a)
+    seg.deallocate(b)
+    seg.check_invariants()
+    assert seg.bytes_in_use == 0
+    assert seg.free_bytes == 1024
+
+
+def test_negative_size_alloc_rejected():
     seg = Segment(1024, owner_rank=0)
     with pytest.raises(ValueError):
-        seg.allocate(0)
+        seg.allocate(-1)
+
+
+def test_unknown_offset_free_rejected():
+    seg = Segment(1024, owner_rank=0, align=64)
+    off = seg.allocate(64)
+    with pytest.raises(ValueError):
+        seg.deallocate(off + 64)  # inside the segment, never allocated
+    with pytest.raises(ValueError):
+        seg.deallocate(1)  # misaligned, not a live allocation
+    seg.deallocate(off)
+    seg.check_invariants()
+
+
+def test_three_way_merge():
+    # freeing b last must merge hole-a + b + hole-c into one region
+    seg = Segment(1024, owner_rank=0, align=64)
+    a = seg.allocate(64)
+    b = seg.allocate(64)
+    c = seg.allocate(64)
+    d = seg.allocate(64)  # guard so c's right neighbor is live
+    seg.deallocate(a)
+    seg.deallocate(c)
+    assert len(seg._free) == 3  # [a], [c], tail after d
+    seg.deallocate(b)
+    seg.check_invariants()
+    assert len(seg._free) == 2  # [a..c] merged, tail after d
+    assert seg._free[0] == (a, 192)
+    seg.deallocate(d)
+    seg.check_invariants()
+    assert seg._free == [(0, 1024)]
+
+
+def test_left_only_and_right_only_merge():
+    seg = Segment(1024, owner_rank=0, align=64)
+    a = seg.allocate(64)
+    b = seg.allocate(64)
+    c = seg.allocate(64)
+    _guard = seg.allocate(64)
+    # left-only: free a, then b -> one hole [a, a+128)
+    seg.deallocate(a)
+    seg.deallocate(b)
+    seg.check_invariants()
+    assert (a, 128) in seg._free
+    # right-only: free c -> merges with the [a, a+128) hole on its left
+    # (c's right neighbor is the live guard); exercise the mirror case too
+    seg.deallocate(c)
+    seg.check_invariants()
+    assert (a, 192) in seg._free
+    # right-only proper: allocate fresh pair, free the right one first
+    x = seg.allocate(64)
+    y = seg.allocate(64)
+    seg.deallocate(y)
+    seg.deallocate(x)
+    seg.check_invariants()
+    assert not seg.is_live(x) and not seg.is_live(y)
 
 
 def test_peak_tracking():

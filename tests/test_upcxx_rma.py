@@ -56,6 +56,22 @@ class TestMemory:
 
         upcxx.run_spmd(body, 2)
 
+    def test_zero_size_allocation_legal(self):
+        # allocate(0) / new_array<T>(0) are legal UPC++: valid, distinct,
+        # deallocatable pointers
+        def body():
+            a = upcxx.allocate(0)
+            b = upcxx.new_array(np.float64, 0)
+            assert a.count == 0 and b.count == 0
+            assert (a.rank, a.offset) != (b.rank, b.offset)
+            upcxx.deallocate(a)
+            upcxx.deallocate(b)
+            assert upcxx.segment_usage()["in_use"] == 0
+            with pytest.raises(ValueError):
+                upcxx.new_array(np.float64, -1)
+
+        upcxx.run_spmd(body, 1)
+
     def test_local_view_of_remote_rejected(self):
         def body():
             g = upcxx.new_array(np.float64, 4)
@@ -171,6 +187,36 @@ class TestRputRget:
             assert np.array_equal(got, [0.0, 1.0, 2.0])
 
         upcxx.run_spmd(body, 1)
+
+    def test_zero_byte_rput_completes(self):
+        # UPC++ permits zero-length transfers: they complete (after the
+        # round trip) without touching target memory
+        def body():
+            me = upcxx.rank_me()
+            g, ptrs = _exchange_ptrs(lambda: upcxx.new_array(np.float64, 4))
+            if me == 1:
+                g.local()[:] = np.arange(4.0)
+            upcxx.barrier()
+            if me == 0:
+                upcxx.rput(b"", ptrs[1]).wait()
+                upcxx.rput(np.zeros(0), ptrs[1]).wait()
+            upcxx.barrier()
+            if me == 1:
+                assert np.array_equal(g.local(), np.arange(4.0))  # untouched
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+
+    def test_zero_byte_rget_completes(self):
+        def body():
+            me = upcxx.rank_me()
+            _, ptrs = _exchange_ptrs(lambda: upcxx.new_array(np.float64, 4))
+            if me == 0:
+                got = upcxx.rget(ptrs[1], count=0).wait()
+                assert len(got) == 0
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
 
     def test_remote_cx_as_rpc_runs_at_target(self):
         hits = []

@@ -81,6 +81,23 @@ class TestStats:
         with pytest.raises(ValueError):
             summarize([])
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_summarize_rejects_non_finite(self, bad):
+        # a NaN compares false against everything, silently corrupting
+        # min/median/best — reject loudly instead
+        with pytest.raises(ValueError, match="finite"):
+            summarize([1.0, bad, 2.0])
+
+    def test_geomean_rejects_non_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            geomean([1.0, float("nan")])
+
+    def test_summarize_mean_clamped_to_bounds(self):
+        # three identical samples whose naive sum()/n exceeds max by one ulp
+        v = 349525.49512621143
+        s = summarize([v, v, v])
+        assert s.minimum <= s.mean <= s.maximum
+
     def test_geomean(self):
         assert geomean([1, 100]) == pytest.approx(10.0)
         with pytest.raises(ValueError):
