@@ -1,0 +1,74 @@
+"""Wall-clock perf smoke: the simulator itself must stay fast.
+
+Runs the :mod:`repro.bench.perf_harness` workloads at tiny scale on both
+scheduler backends, writes ``BENCH_perf.json``, and gates against the
+committed baseline (``benchmarks/perf_baseline.json``).
+
+The gate compares the **backend speedup ratio** (coroutines vs threads,
+events/sec), not absolute wall time: the ratio is dimensionless and
+mostly machine-independent, so the same baseline works on laptops and CI
+runners.  A >2× regression of the ratio fails the job — that catches
+"someone pessimized the coroutine hot path" without flaking on slow
+runners.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.perf_harness import WORKLOADS, run_harness
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+OUT_PATH = os.environ.get("REPRO_PERF_OUT", "BENCH_perf.json")
+
+#: a measured ratio below baseline/REGRESSION_FACTOR fails the gate
+REGRESSION_FACTOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_harness(scale="tiny", repeat=2, out_path=OUT_PATH)
+
+
+def test_harness_covers_all_workloads(report):
+    assert set(report["workloads"]) == set(WORKLOADS)
+
+
+def test_backends_produce_identical_results(report):
+    for name, entry in report["workloads"].items():
+        assert entry["results_identical"], f"{name}: backend results diverged"
+
+
+def test_counters_populated(report):
+    for name, entry in report["workloads"].items():
+        for backend in ("coroutines", "threads"):
+            rec = entry[backend]
+            assert rec["wall_s"] > 0
+            assert rec["events_fired"] > 0, f"{name}/{backend}: no events recorded"
+            assert rec["switches"] > 0, f"{name}/{backend}: no switches recorded"
+            assert rec["peak_rss_kb"] > 0
+
+
+def test_no_ratio_regression_vs_baseline(report):
+    """Backend speedup ratio must not regress >2× vs the committed baseline."""
+    with open(BASELINE_PATH) as f:
+        baseline = json.load(f)
+    for name, entry in report["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            continue
+        measured = entry["speedup_events_per_s"]
+        floor = base["speedup_events_per_s"] / REGRESSION_FACTOR
+        assert measured >= floor, (
+            f"{name}: coroutines/threads events-per-sec ratio {measured:.3f} "
+            f"regressed below {floor:.3f} (baseline "
+            f"{base['speedup_events_per_s']:.3f} / {REGRESSION_FACTOR})"
+        )
+
+
+def test_bench_perf_json_written(report):
+    with open(OUT_PATH) as f:
+        on_disk = json.load(f)
+    assert on_disk["schema"] == "repro-perf/1"
+    assert "gate" in on_disk

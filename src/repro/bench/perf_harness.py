@@ -1,0 +1,257 @@
+"""Wall-clock performance harness: how fast does the simulator itself run?
+
+Every other module in ``repro.bench`` measures *simulated* time — the
+physics of the modeled machine.  This one measures the *simulator*: for
+representative Fig. 3a / 4a / 8 workloads it runs the same simulation on
+each scheduler backend and records wall-clock seconds, scheduler events
+fired per second, rank switches per second, and peak RSS.  Results are
+written to ``BENCH_perf.json`` for the CI perf-smoke job, which compares
+the backend speedup ratio (a dimensionless, machine-tolerant number)
+against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perf_harness --scale tiny
+    PYTHONPATH=src python -m repro.bench.perf_harness --scale full --repeat 3
+
+All workloads assert that both backends produce bit-identical simulated
+results — a perf number from a wrong simulation is worthless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform as _platform
+import resource
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+BACKENDS = ("coroutines", "threads")
+
+#: the acceptance target for the Fig. 4a gate workload (events/sec,
+#: coroutine backend vs thread backend); the measured ratio is reported
+#: honestly whether or not it reaches the target
+GATE_WORKLOAD = "fig4a_dht"
+GATE_TARGET = 5.0
+
+
+# ----------------------------------------------------------------- workloads
+def _fig3a_latency(scale: str, backend: str) -> Tuple[object, dict]:
+    """Fig. 3a blocking-put latency series (2 ranks, size sweep)."""
+    import numpy as np
+
+    import repro.upcxx as upcxx
+    from repro.bench.microbench import FIG3_SIZES
+
+    sizes = FIG3_SIZES[:6] if scale == "tiny" else FIG3_SIZES
+    iters = 5 if scale == "tiny" else 20
+    out: Dict[int, float] = {}
+
+    def body():
+        me = upcxx.rank_me()
+        landing = upcxx.new_array(np.uint8, max(sizes))
+        dest = upcxx.broadcast(landing, root=1).wait()
+        upcxx.barrier()
+        if me == 0:
+            for size in sizes:
+                payload = bytes(size)
+                upcxx.rput(payload, dest).wait()  # warm-up
+                t0 = upcxx.sim_now()
+                for _ in range(iters):
+                    upcxx.rput(payload, dest).wait()
+                out[size] = (upcxx.sim_now() - t0) / iters
+        upcxx.barrier()
+
+    stats: dict = {}
+    upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend=backend, sched_stats=stats)
+    return tuple(sorted(out.items())), stats
+
+
+def _fig4a_dht(scale: str, backend: str) -> Tuple[object, dict]:
+    """Fig. 4a DHT blocking-insert weak scaling point (the gate workload)."""
+    import repro.upcxx as upcxx
+    from repro.apps.dht import DhtRmaLz
+    from repro.bench.platforms import PLATFORMS
+    from repro.util.units import MiB
+
+    n_ranks = 32 if scale == "tiny" else 256
+    value_size = 4096
+    n_inserts = 8 if scale == "tiny" else 16
+
+    def body():
+        dht = DhtRmaLz()
+        rng = upcxx.runtime_here().rng.spawn("dht-bench")
+        payload = bytes(value_size)
+        upcxx.barrier()
+        t0 = upcxx.sim_now()
+        for _ in range(n_inserts):
+            dht.insert(rng.key64(), payload).wait()
+        upcxx.barrier()
+        return upcxx.sim_now() - t0
+
+    stats: dict = {}
+    elapsed = upcxx.run_spmd(
+        body,
+        n_ranks,
+        platform="haswell",
+        ppn=PLATFORMS["haswell"].ppn_dht,
+        segment_size=max(4 * MiB, 4 * n_inserts * value_size),
+        backend=backend,
+        sched_stats=stats,
+    )
+    return tuple(elapsed), stats
+
+
+#: cached extend-add plans per scale (plan building is pure CPU setup
+#: shared by both backends; keep it out of the timed region)
+_EADD_PLANS: dict = {}
+
+
+def _fig8_eadd(scale: str, backend: str) -> Tuple[object, dict]:
+    """Fig. 8 extend-add sweep, UPC++ RPC variant."""
+    import repro.upcxx as upcxx
+    from repro.apps.sparse.extend_add import build_eadd_plan, upcxx_eadd_run
+    from repro.bench.platforms import PLATFORMS
+
+    n_procs = 4 if scale == "tiny" else 16
+    if scale not in _EADD_PLANS:
+        grid = (8, 8, 6) if scale == "tiny" else (16, 16, 12)
+        _EADD_PLANS[scale] = build_eadd_plan(*grid, n_procs=n_procs, leaf_size=48)
+    plan = _EADD_PLANS[scale]
+    stats: dict = {}
+    out = upcxx.run_spmd(
+        lambda: upcxx_eadd_run(plan),
+        n_procs,
+        platform="haswell",
+        ppn=PLATFORMS["haswell"].ppn_eadd,
+        backend=backend,
+        sched_stats=stats,
+    )
+    return tuple(out), stats
+
+
+WORKLOADS: Dict[str, Callable[[str, str], Tuple[object, dict]]] = {
+    "fig3a_latency": _fig3a_latency,
+    "fig4a_dht": _fig4a_dht,
+    "fig8_eadd": _fig8_eadd,
+}
+
+
+# ---------------------------------------------------------------- measuring
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process in KiB (Linux ru_maxrss unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def measure(
+    name: str,
+    scale: str,
+    backend: str,
+    repeat: int = 2,
+) -> Tuple[object, dict]:
+    """Run one workload on one backend; best-of-``repeat`` wall clock.
+
+    Returns (simulated result, measurement record).  Best-of-N damps
+    scheduler noise on shared machines; events fired and switches are
+    invariant across repeats (the simulation is deterministic).
+    """
+    fn = WORKLOADS[name]
+    fn(scale, backend)  # untimed warm-up: imports, caches, allocator pools
+    best_wall = float("inf")
+    result = None
+    stats: dict = {}
+    for _ in range(max(1, repeat)):
+        gc.collect()  # don't bill one run for another's garbage
+        t0 = time.perf_counter()
+        result, stats = fn(scale, backend)
+        wall = time.perf_counter() - t0
+        best_wall = min(best_wall, wall)
+    events = stats.get("events_fired", 0)
+    switches = stats.get("switches", 0)
+    record = {
+        "wall_s": round(best_wall, 4),
+        "events_fired": events,
+        "events_per_s": round(events / best_wall, 1) if events else None,
+        "switches": switches,
+        "switches_per_s": round(switches / best_wall, 1) if switches else None,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return result, record
+
+
+def run_harness(
+    scale: str = "tiny",
+    workloads: Optional[List[str]] = None,
+    repeat: int = 2,
+    out_path: str = "BENCH_perf.json",
+) -> dict:
+    """Run every workload on every backend and write ``BENCH_perf.json``."""
+    names = workloads or list(WORKLOADS)
+    report: dict = {
+        "schema": "repro-perf/1",
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "cpus": os.cpu_count(),
+        "workloads": {},
+    }
+    for name in names:
+        entry: dict = {}
+        results = {}
+        for backend in BACKENDS:
+            result, record = measure(name, scale, backend, repeat=repeat)
+            entry[backend] = record
+            results[backend] = result
+            print(
+                f"[perf] {name:>14s} {backend:>10s}: {record['wall_s']:.2f}s wall, "
+                f"{record['events_fired']} events"
+                + (f" ({record['events_per_s']:.0f}/s)" if record["events_per_s"] else ""),
+                flush=True,
+            )
+        if results["coroutines"] != results["threads"]:
+            raise AssertionError(
+                f"{name}: simulated results differ between backends — "
+                "perf numbers are meaningless; fix determinism first"
+            )
+        entry["results_identical"] = True
+        a, b = entry["coroutines"], entry["threads"]
+        if a["events_per_s"] and b["events_per_s"]:
+            entry["speedup_events_per_s"] = round(a["events_per_s"] / b["events_per_s"], 3)
+        else:
+            entry["speedup_events_per_s"] = round(b["wall_s"] / a["wall_s"], 3)
+        report["workloads"][name] = entry
+
+    if GATE_WORKLOAD in report["workloads"]:
+        measured = report["workloads"][GATE_WORKLOAD]["speedup_events_per_s"]
+        report["gate"] = {
+            "workload": GATE_WORKLOAD,
+            "metric": "events_per_s coroutines/threads",
+            "target_speedup": GATE_TARGET,
+            "measured_speedup": measured,
+            "passed": bool(measured >= GATE_TARGET),
+        }
+
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[perf] wrote {out_path}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    ap.add_argument("--workloads", nargs="*", choices=list(WORKLOADS), default=None)
+    ap.add_argument("--repeat", type=int, default=2)
+    ap.add_argument("--out", default="BENCH_perf.json")
+    args = ap.parse_args(argv)
+    run_harness(args.scale, args.workloads, args.repeat, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

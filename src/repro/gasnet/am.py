@@ -11,27 +11,99 @@ RPCs).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 
-@dataclass
 class AMMessage:
-    """One active message as it sits in an inbox."""
+    """One active message as it sits in an inbox.
 
-    src: int
-    dst: int
-    #: client-layer dispatch tag (e.g. "upcxx.rpc", "mpi.eager")
-    tag: str
-    #: opaque payload object (already-serialized bytes or a token structure)
-    payload: Any
-    #: payload size in bytes as it traveled on the wire
-    nbytes: int
-    #: simulated arrival time at the destination NIC
-    arrival: float = 0.0
-    #: optional client-layer correlation token (reply routing)
-    token: Any = None
-    meta: dict = field(default_factory=dict)
+    Envelopes are allocated per message on the hot path, so the class is
+    slotted and recycled through a free list: :meth:`acquire` reuses a
+    released envelope when one is available, and a client layer that has
+    fully consumed a message (handler dispatched, no field retained) may
+    hand it back with :meth:`release`.  Releasing is strictly optional —
+    layers that retain messages (e.g. MPI unexpected-message queues)
+    simply never release them.
+    """
+
+    __slots__ = ("src", "dst", "tag", "payload", "nbytes", "arrival", "token", "meta")
+
+    #: free list of released envelopes (bounded; see release())
+    _pool: List["AMMessage"] = []
+    _POOL_MAX = 256
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Any,
+        nbytes: int,
+        arrival: float = 0.0,
+        token: Any = None,
+        meta: Optional[dict] = None,
+    ):
+        self.src = src
+        self.dst = dst
+        #: client-layer dispatch tag (e.g. "upcxx.rpc", "mpi.eager")
+        self.tag = tag
+        #: opaque payload object (already-serialized bytes or a token structure)
+        self.payload = payload
+        #: payload size in bytes as it traveled on the wire
+        self.nbytes = nbytes
+        #: simulated arrival time at the destination NIC
+        self.arrival = arrival
+        #: optional client-layer correlation token (reply routing)
+        self.token = token
+        #: optional observability tags (None when nothing was attached)
+        self.meta = meta
+
+    @classmethod
+    def acquire(
+        cls,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Any,
+        nbytes: int,
+        arrival: float = 0.0,
+        token: Any = None,
+        meta: Optional[dict] = None,
+    ) -> "AMMessage":
+        """Pooled constructor: reuse a released envelope when available."""
+        pool = cls._pool
+        if pool:
+            msg = pool.pop()
+            msg.src = src
+            msg.dst = dst
+            msg.tag = tag
+            msg.payload = payload
+            msg.nbytes = nbytes
+            msg.arrival = arrival
+            msg.token = token
+            msg.meta = meta
+            return msg
+        return cls(src, dst, tag, payload, nbytes, arrival, token, meta)
+
+    @classmethod
+    def release(cls, msg: "AMMessage") -> None:
+        """Return a fully-consumed envelope to the free list.
+
+        The caller asserts nothing retains ``msg`` (payload references may
+        live on; the envelope itself must be dead).
+        """
+        pool = cls._pool
+        if len(pool) < cls._POOL_MAX:
+            msg.payload = None
+            msg.token = None
+            msg.meta = None
+            pool.append(msg)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AMMessage(src={self.src}, dst={self.dst}, tag={self.tag!r}, "
+            f"nbytes={self.nbytes}, arrival={self.arrival})"
+        )
 
 
 class AMInbox:

@@ -106,6 +106,14 @@ class Conduit:
         #: optional repro.util.metrics.Metrics for NIC injection accounting
         self.metrics = metrics if metrics is not None and metrics.enabled else None
         self.endpoints = [_Endpoint(r, segment_size) for r in range(sched.n_ranks)]
+        # hot-path lookup tables: rank -> node (replaces machine.same_node
+        # calls per op), the two propagation latencies, and a memo of
+        # occupancy(nbytes, path, same_node) keyed by its arguments — real
+        # workloads send a handful of distinct sizes millions of times
+        self._node = [machine.node_of(r) for r in range(sched.n_ranks)]
+        self._lat_net = network.latency_oneway
+        self._lat_shm = network.latency_oneway_shm
+        self._occ_cache: dict = {}
 
     # -------------------------------------------------------------- accessors
     def segment(self, rank: int) -> Segment:
@@ -156,17 +164,24 @@ class Conduit:
         if occ_scale <= 0:
             raise ValueError(f"occ_scale must be positive, got {occ_scale}")
         ep = self.endpoints[src]
-        same = self.machine.same_node(src, dst)
-        begin = max(start, ep.nic_free_at)
-        occ = self.network.occupancy(nbytes, path, same) * occ_scale
-        ep.nic_free_at = begin + occ
+        node = self._node
+        same = node[src] == node[dst]
+        nic_free = ep.nic_free_at
+        begin = start if start > nic_free else nic_free
+        key = (nbytes, path, same)
+        occ = self._occ_cache.get(key)
+        if occ is None:
+            occ = self._occ_cache[key] = self.network.occupancy(nbytes, path, same)
+        occ *= occ_scale
+        done = begin + occ
+        ep.nic_free_at = done
         ep.bytes_out += nbytes
-        arrival = begin + occ + self.network.latency(same)
+        arrival = done + (self._lat_shm if same else self._lat_net)
         if self.metrics is not None:
             # wire time = occupancy; backpressure = time spent queued behind
             # earlier injections on this NIC before the wire was free
             self.metrics.rank(src).nic_injected(nbytes, occ, begin - start)
-        return begin + occ, arrival
+        return done, arrival
 
     # ------------------------------------------------------------------- put
     def put_nb(
@@ -189,22 +204,24 @@ class Conduit:
         """
         data = bytes(data)
         nbytes = len(data)
-        now = self.sched.now()
+        sched = self.sched
+        now = sched.now()
         ep = self.endpoints[src]
         ep.n_puts += 1
-        handle = Handle(f"put {src}->{dst} {nbytes}B")
+        handle = Handle(("put", src, dst, nbytes))
         _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
-        same = self.machine.same_node(src, dst)
-        ack_latency = self.network.latency(same)
+        node = self._node
+        ack_latency = self._lat_shm if node[src] == node[dst] else self._lat_net
         dst_seg = self.endpoints[dst].segment
+        ack_time = arrival + ack_latency
 
         def commit_and_ack():
             dst_seg.write(dst_off, data)
             if on_remote_commit is not None:
                 on_remote_commit(arrival)
-            self.sched.post_at(arrival + ack_latency, lambda: handle.complete(arrival + ack_latency))
+            sched.post_at(ack_time, lambda: handle.complete(ack_time))
 
-        self.sched.post_at(arrival, commit_and_ack)
+        sched.post_at(arrival, commit_and_ack)
         return handle
 
     # ------------------------------------------------------------------- get
@@ -222,29 +239,35 @@ class Conduit:
         The handle completes when the data lands back at ``src``; the bytes
         are available as ``handle.data``.
         """
-        now = self.sched.now()
+        sched = self.sched
+        now = sched.now()
         ep = self.endpoints[src]
         ep.n_gets += 1
-        handle = Handle(f"get {src}<-{dst} {nbytes}B")
+        handle = Handle(("get", src, dst, nbytes))
         # request: small control message
         _, req_arrival = self._inject(src, dst, self.network.header_bytes, PATH_FMA, now)
         dst_ep = self.endpoints[dst]
-        same = self.machine.same_node(src, dst)
+        node = self._node
+        same = node[src] == node[dst]
 
         def service_request():
             # The destination NIC reads memory and streams the reply; no
             # destination CPU is involved (true RDMA read).
             data = dst_ep.segment.read(dst_off, nbytes)
             begin = max(req_arrival, dst_ep.nic_free_at)
-            occ = self.network.occupancy(nbytes, path, same) * occ_scale
+            key = (nbytes, path, same)
+            occ = self._occ_cache.get(key)
+            if occ is None:
+                occ = self._occ_cache[key] = self.network.occupancy(nbytes, path, same)
+            occ *= occ_scale
             dst_ep.nic_free_at = begin + occ
-            back = begin + occ + self.network.latency(same)
+            back = begin + occ + (self._lat_shm if same else self._lat_net)
             if self.metrics is not None:
                 # the reply stream occupies the *destination* NIC
                 self.metrics.rank(dst).nic_injected(nbytes, occ, begin - req_arrival)
-            self.sched.post_at(back, lambda: handle.complete(back, data=data))
+            sched.post_at(back, lambda: handle.complete(back, data=data))
 
-        self.sched.post_at(req_arrival, service_request)
+        sched.post_at(req_arrival, service_request)
         return handle
 
     # -------------------------------------------------------------------- AM
@@ -266,32 +289,27 @@ class Conduit:
         (user-level progress) can process the message; a rank that is busy
         computing will only see it at its next progress call.
         """
-        now = self.sched.now()
+        sched = self.sched
+        now = sched.now()
         ep = self.endpoints[src]
         ep.n_ams += 1
-        handle = Handle(f"am {src}->{dst} {tag} {nbytes}B")
+        handle = Handle(("am", src, dst, tag, nbytes))
         inj_done, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
-        msg = AMMessage(
-            src=src,
-            dst=dst,
-            tag=tag,
-            payload=payload,
-            nbytes=nbytes,
-            arrival=arrival,
-            token=token,
-            meta=dict(meta) if meta else {},
-        )
+        msg_meta = dict(meta) if meta else None
         if self.metrics is not None:
             # lets the receiver account wire time (active -> complete dwell)
-            msg.meta["t_injected"] = now
+            if msg_meta is None:
+                msg_meta = {}
+            msg_meta["t_injected"] = now
+        msg = AMMessage.acquire(src, dst, tag, payload, nbytes, arrival, token, msg_meta)
         inbox = self.endpoints[dst].inbox
 
         def deliver():
             inbox.deliver(msg)
-            self.sched.wake(dst, arrival)
+            sched.wake(dst, arrival)
 
-        self.sched.post_at(arrival, deliver)
-        self.sched.post_at(inj_done, lambda: handle.complete(inj_done))
+        sched.post_at(arrival, deliver)
+        sched.post_at(inj_done, lambda: handle.complete(inj_done))
         return handle
 
     # ------------------------------------------------------------- accumulate
@@ -320,7 +338,7 @@ class Conduit:
         now = self.sched.now()
         ep = self.endpoints[src]
         ep.n_amos += 1
-        handle = Handle(f"acc {op} {src}->{dst} {nbytes}B")
+        handle = Handle(("acc", op, src, dst, nbytes))
         _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
         same = self.machine.same_node(src, dst)
         ack_latency = self.network.latency(same)
@@ -365,7 +383,7 @@ class Conduit:
         now = self.sched.now()
         ep = self.endpoints[src]
         ep.n_amos += 1
-        handle = Handle(f"amo {op} {src}->{dst}")
+        handle = Handle(("amo", op, src, dst))
         _, arrival = self._inject(src, dst, dt.itemsize + self.network.header_bytes, PATH_FMA, now)
         same = self.machine.same_node(src, dst)
         back_latency = self.network.latency(same)

@@ -17,15 +17,21 @@ from typing import Callable, List, Optional
 
 
 class Handle:
-    """One in-flight conduit operation's completion state."""
+    """One in-flight conduit operation's completion state.
+
+    ``op`` is a diagnostic label; hot paths pass a cheap tuple like
+    ``("put", src, dst, nbytes)`` rather than a formatted string.  The
+    callback list is allocated lazily — most handles get exactly zero or
+    one callback.
+    """
 
     __slots__ = ("op", "done", "time_done", "_callbacks", "data")
 
-    def __init__(self, op: str = "op"):
+    def __init__(self, op: object = "op"):
         self.op = op
         self.done = False
         self.time_done: Optional[float] = None
-        self._callbacks: List[Callable[["Handle"], None]] = []
+        self._callbacks: Optional[List[Callable[["Handle"], None]]] = None
         #: payload slot (e.g. bytes fetched by a get)
         self.data = None
 
@@ -33,6 +39,8 @@ class Handle:
         """Attach a network-context callback; fires immediately if done."""
         if self.done:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -44,9 +52,11 @@ class Handle:
         self.time_done = time
         if data is not None:
             self.data = data
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = f"done@{self.time_done}" if self.done else "pending"

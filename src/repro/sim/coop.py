@@ -1,9 +1,9 @@
 """Cooperative SPMD runtime over the discrete-event engine.
 
-Every simulated process (*rank*) executes its user function on a dedicated
-OS thread, written in ordinary blocking style.  A conservative scheduler
-enforces the invariant that **exactly one entity runs at any instant**, and
-that it is always the entity with the globally minimal simulated timestamp:
+Every simulated process (*rank*) executes its user function in ordinary
+blocking style.  A conservative scheduler enforces the invariant that
+**exactly one entity runs at any instant**, and that it is always the
+entity with the globally minimal simulated timestamp:
 
 - a *rank* with the smallest local clock among ready ranks, or
 - a pending *network event* (conduit delivery, completion) that is due no
@@ -15,7 +15,7 @@ Rank code interacts with the scheduler through four primitives:
     advance my simulated clock by ``dt`` seconds of CPU work, yielding the
     baton if someone else is now earlier;
 ``post(delay, fn)`` / ``post_at(t, fn)``
-    schedule a network-context callback (runs with the scheduler lock held,
+    schedule a network-context callback (runs inside the dispatch loop,
     must not block or call user code);
 ``block(reason)``
     go to sleep until some event calls ``wake`` for me (spurious wake-ups
@@ -26,15 +26,37 @@ Rank code interacts with the scheduler through four primitives:
 
 Because events fire in deterministic (time, insertion) order and ranks are
 resumed in deterministic (clock, rank) order, an entire simulation is a
-pure function of its inputs and seed.  The GIL plus the baton discipline
-mean library state needs no further locking: there is never true
-concurrency between ranks or between a rank and an event callback.
+pure function of its inputs and seed.
+
+Two interchangeable backends implement the baton discipline:
+
+``backend="coroutines"`` (default)
+    Rank bodies run as cooperative fibers resumed by a dispatch loop.  All
+    scheduler state is lock-free — the baton discipline itself (plus the
+    GIL) is the mutual exclusion — and the hot path of ``charge()`` is a
+    single comparison against a cached *horizon* (the earliest instant at
+    which anything else could need to run).  Fiber switches hand the baton
+    directly to the next runnable entity through one raw lock release.
+    Because pure CPython cannot switch C stacks, each fiber's suspended
+    call stack is carried by a parked OS thread; the dispatch structure,
+    not thread elimination, is what makes switching cheap.
+
+``backend="threads"``
+    The original conservative scheduler: one OS thread per rank, a global
+    re-entrant lock, and condition-variable handoffs.  Kept as the
+    reference implementation; both backends produce bit-identical traces
+    and results (see tests/test_backend_determinism.py).
+
+Select a backend per scheduler (``Scheduler(n, backend=...)``) or globally
+with the ``REPRO_SIM_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import threading
+import _thread
 from typing import Callable, List, Optional, Sequence
 
 from repro.sim.engine import EventQueue
@@ -53,12 +75,552 @@ _STATE_NAMES = {_NEW: "NEW", _READY: "READY", _RUNNING: "RUNNING", _BLOCKED: "BL
 _tls = threading.local()
 
 # Modest stacks: simulated ranks are shallow (library calls only), and jobs
-# may create hundreds of rank threads.
+# may create thousands of rank fibers.
 _STACK_BYTES = 512 * 1024
 
+#: environment override for the default backend
+BACKEND_ENV = "REPRO_SIM_BACKEND"
+DEFAULT_BACKEND = "coroutines"
 
+
+class Scheduler:
+    """The global conservative scheduler for one SPMD job.
+
+    Instantiating ``Scheduler(...)`` returns the selected backend
+    implementation (:class:`CoroutineScheduler` by default,
+    :class:`ThreadScheduler` with ``backend="threads"``); both are
+    subclasses, so ``isinstance(s, Scheduler)`` holds either way.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Scheduler:
+            name = kwargs.get("backend") or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+            try:
+                impl = _BACKENDS[name]
+            except KeyError:
+                raise ValueError(
+                    f"unknown scheduler backend {name!r}; expected one of {sorted(_BACKENDS)}"
+                ) from None
+            return object.__new__(impl)
+        return object.__new__(cls)
+
+    #: backend name, overridden by subclasses
+    backend = "abstract"
+
+    # ------------------------------------------------------------ shared API
+    def sleep(self, dt: float) -> None:
+        """Block for ``dt`` seconds of simulated time (pure delay)."""
+        me = self._me()
+        deadline = me.clock + dt
+        self.post(dt, lambda: self.wake(me.rid, deadline))
+        while me.clock < deadline:
+            self.block(f"sleep until {deadline}")
+        self.checkpoint()
+
+    def rank_env(self, rid: Optional[int] = None) -> dict:
+        """Per-rank scratch dict for upper layers."""
+        if rid is None:
+            return self._me().env
+        return self._ranks[rid].env
+
+    def set_client(self, obj) -> None:
+        """Attach a client-layer runtime object to the calling rank.
+
+        Retrieved in O(1) by :func:`current_client` — the fast path for
+        per-operation runtime lookups (e.g. ``upcxx.current_runtime``).
+        """
+        self._me().client = obj
+
+    def snapshot(self) -> str:
+        """Human-readable state of all ranks (for error messages/tests)."""
+        lines = [
+            f"rank {c.rid}: {_STATE_NAMES[c.state]} clock={c.clock:.9f}"
+            + (f" [{c.block_reason}]" if c.state == _BLOCKED else "")
+            for c in self._ranks
+        ]
+        lines.append(f"pending events: {len(self._events)}; switches: {self.switches}")
+        return "\n".join(lines)
+
+    def stats(self) -> dict:
+        """Machine-readable run counters (perf harness / postmortems)."""
+        ev = self._events.stats
+        return {
+            "backend": self.backend,
+            "n_ranks": self.n_ranks,
+            "switches": self.switches,
+            "events_posted": ev["posted"],
+            "events_fired": ev["fired"],
+        }
+
+
+def _consume_pending_wakes(sched: Scheduler, me) -> bool:
+    """Shared ``block()`` prologue: drain sticky wakes in timestamp order.
+
+    Wakes that targeted this rank while it was runnable are kept in
+    ``pending_wake``.  Any at or before the rank's clock mean state already
+    changed, so ``block()`` returns immediately (a spurious wake; the
+    caller re-checks its predicate).  Otherwise the **earliest** future
+    wake is converted into a timer so the rank resumes exactly then; later
+    ones stay pending for subsequent blocks.  The list is sorted before
+    consumption so wakes are always drained in timestamp order regardless
+    of arrival order (lost-wakeup guard).
+
+    Returns True if ``block()`` should return without sleeping.
+    """
+    pending = me.pending_wake
+    if len(pending) > 1:
+        pending.sort()
+    clock = me.clock
+    if pending[0] <= clock:
+        me.pending_wake = [t for t in pending if t > clock]
+        return True
+    t = pending.pop(0)
+    rid = me.rid
+    sched._events.push(t, lambda: sched.wake(rid, t))
+    return False
+
+
+# ======================================================================
+# Coroutine backend
+# ======================================================================
+class _Fiber:
+    """Per-rank control block of the coroutine backend.
+
+    The fiber's suspended stack is carried by a lazily-started OS thread
+    parked on ``baton`` (a raw lock, initially held): releasing the baton
+    resumes the fiber; the fiber parks itself by re-acquiring it.
+    """
+
+    __slots__ = (
+        "rid",
+        "state",
+        "clock",
+        "baton",
+        "thread",
+        "result",
+        "block_reason",
+        "ready_stamp",
+        "env",
+        "pending_wake",
+        "client",
+    )
+
+    def __init__(self, rid: int):
+        self.rid = rid
+        self.state = _NEW
+        self.clock = 0.0
+        self.baton = _thread.allocate_lock()
+        self.baton.acquire()  # parked until first dispatch
+        self.thread: Optional[threading.Thread] = None
+        self.result = None
+        self.block_reason = ""
+        self.ready_stamp = 0
+        self.env: dict = {}
+        #: wake timestamps received while not blocked (sticky wakes);
+        #: consumed by block() in timestamp order to prevent lost wakeups
+        self.pending_wake: list = []
+        #: client-layer runtime attached via Scheduler.set_client
+        self.client = None
+
+
+class CoroutineScheduler(Scheduler):
+    """Dispatch-loop scheduler: rank fibers, lock-free state, fast paths.
+
+    Invariants (enforced by the baton discipline plus the GIL):
+
+    - exactly one entity — the current fiber or a dispatching context —
+      executes scheduler code at any instant, so no state needs locking;
+    - ``_horizon`` is always ≤ the earliest instant at which a pending
+      event is due or a ready rank could run (and ≤ ``max_time``), so
+      ``charge()``/``checkpoint()`` may return immediately while the
+      running rank's clock stays strictly below it (the fast path: the
+      charging rank remains globally earliest and nothing is due).
+    """
+
+    backend = "coroutines"
+
+    def __init__(self, n_ranks: int, trace: Optional[TraceBuffer] = None, max_time: float = 1e6, backend: Optional[str] = None):
+        if n_ranks < 1:
+            raise ValueError(f"need at least 1 rank, got {n_ranks}")
+        self.n_ranks = n_ranks
+        self._events = EventQueue()
+        self._eheap = self._events._heap  # direct alias for batched drains
+        self._ranks: List[_Fiber] = [_Fiber(r) for r in range(n_ranks)]
+        self._ready: list = []  # heap of (clock, rid, stamp)
+        self._ready_version = 0  # bumped on every push (drain-loop cache key)
+        self._failure: Optional[BaseException] = None
+        self._n_done = 0
+        self._running = False
+        self._aborted = False
+        self.trace = trace if trace is not None else TraceBuffer(enabled=False)
+        self.max_time = max_time
+        self.env: dict = {}  # upper layers stash per-job singletons here
+        self.switches = 0
+        #: the fiber currently holding the baton (None outside run())
+        self._current: Optional[_Fiber] = None
+        self._horizon = 0.0
+        self._main_baton = _thread.allocate_lock()
+        self._main_baton.acquire()
+        self._main_release_guard = _thread.allocate_lock()
+        self._fn: Optional[Callable[[int], object]] = None
+
+    # ------------------------------------------------------------------ intro
+    def _me(self) -> _Fiber:
+        me = self._current
+        if me is None:
+            raise SimError("not inside a rank of this scheduler")
+        return me
+
+    # ------------------------------------------------------------ rank context
+    def now(self) -> float:
+        """Current rank's simulated clock (seconds)."""
+        me = self._current
+        if me is None:
+            raise SimError("not inside a rank of this scheduler")
+        return me.clock
+
+    def charge(self, dt: float) -> None:
+        """Advance my clock by ``dt`` seconds of simulated CPU time."""
+        if dt < 0:
+            raise ValueError(f"negative charge: {dt}")
+        me = self._current
+        if me is None:
+            raise SimError("not inside a rank of this scheduler")
+        me.clock = clock = me.clock + dt
+        if clock < self._horizon:
+            return  # fast path: still globally earliest, nothing due
+        if self._failure is not None:
+            raise SimAbort()
+        if clock > self.max_time:
+            self._fail(SimError(f"simulated time exceeded max_time={self.max_time}"))
+            raise SimAbort()
+        self._checkpoint_slow(me)
+
+    def checkpoint(self) -> None:
+        """Deliver due events and yield if another entity is earlier.
+
+        Library code calls this at every synchronization-relevant point
+        that does not itself charge time.
+        """
+        me = self._current
+        if me is None:
+            raise SimError("not inside a rank of this scheduler")
+        if me.clock < self._horizon:
+            return
+        if self._failure is not None:
+            raise SimAbort()
+        self._checkpoint_slow(me)
+
+    def post(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule a network-context callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        me = self._current
+        if me is None:
+            raise SimError("not inside a rank of this scheduler")
+        t = me.clock + delay
+        self._events.push(t, fn)
+        if t < self._horizon:
+            self._horizon = t
+
+    def post_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Schedule a network-context callback at absolute time ``t``.
+
+        Callable from network context (events posting follow-on events).
+        """
+        self._events.push(t, fn)
+        if t < self._horizon:
+            self._horizon = t
+
+    def block(self, reason: str = "") -> None:
+        """Sleep until some event wakes me.  Spurious wake-ups possible."""
+        me = self._current
+        if me is None:
+            raise SimError("not inside a rank of this scheduler")
+        if self._failure is not None:
+            raise SimAbort()
+        if me.pending_wake and _consume_pending_wakes(self, me):
+            return
+        me.state = _BLOCKED
+        me.block_reason = reason
+        trace = self.trace
+        if trace.enabled:
+            trace.record(me.clock, me.rid, "block", reason)
+        self._switch_out(me)
+        if trace.enabled:
+            trace.record(me.clock, me.rid, "resume", reason)
+
+    # -------------------------------------------------------- network context
+    def wake(self, rid: int, at_time: float) -> None:
+        """Make rank ``rid`` runnable with clock >= ``at_time``.
+
+        Network-context only (events run inside the dispatch loop, which
+        holds the baton); also safe from rank context.
+        """
+        ctl = self._ranks[rid]
+        state = ctl.state
+        if state == _BLOCKED:
+            if at_time > ctl.clock:
+                ctl.clock = at_time
+            ctl.state = _READY
+            self._push_ready(ctl)
+        elif state == _READY or state == _RUNNING:
+            # Sticky wake: the rank is runnable at an earlier clock and
+            # may block before reaching ``at_time``; remember every such
+            # wake so its next block() converts them into timers instead
+            # of sleeping forever (lost-wakeup guard).
+            ctl.pending_wake.append(at_time)
+        # DONE: nothing to do.
+
+    # ------------------------------------------------------------- internals
+    def _push_ready(self, ctl: _Fiber) -> None:
+        ctl.ready_stamp += 1
+        clock = ctl.clock
+        heapq.heappush(self._ready, (clock, ctl.rid, ctl.ready_stamp))
+        self._ready_version += 1
+        if clock < self._horizon:
+            self._horizon = clock
+
+    def _peek_ready(self):
+        """Return (clock, ctl) of the earliest ready rank, or None."""
+        ready = self._ready
+        ranks = self._ranks
+        while ready:
+            clock, rid, stamp = ready[0]
+            ctl = ranks[rid]
+            if ctl.state != _READY or stamp != ctl.ready_stamp or clock != ctl.clock:
+                heapq.heappop(ready)  # stale entry
+                continue
+            return clock, ctl
+        return None
+
+    def _retarget(self) -> None:
+        """Recompute the fast-path horizon after a dispatch decision."""
+        h = self.max_time
+        eheap = self._eheap
+        if eheap:
+            et = eheap[0][0]
+            if et < h:
+                h = et
+        top = self._peek_ready()
+        if top is not None and top[0] < h:
+            h = top[0]
+        self._horizon = h
+
+    def _checkpoint_slow(self, me: _Fiber) -> None:
+        # Deliver due events — but only those that are *globally* minimal:
+        # an event must never fire while a READY rank with an earlier clock
+        # has not yet executed up to the event's timestamp (it could still
+        # create causally-prior effects).  Blocked ranks do not gate firing:
+        # they cannot act until an event wakes them.
+        #
+        # The drain is batched: the event heap is walked directly, the
+        # fired-event counter is flushed once, and the ready-heap gate is
+        # re-read only when a fired event made a rank runnable.
+        clock = me.clock
+        eheap = self._eheap
+        n_fired = 0
+        version = self._ready_version
+        top = self._peek_ready()
+        gate = top[0] if top is not None else None
+        try:
+            while eheap:
+                et = eheap[0][0]
+                if et > clock:
+                    break
+                if gate is not None and et > gate:
+                    break  # an earlier rank must run first
+                fn = heapq.heappop(eheap)[2]
+                n_fired += 1
+                fn()
+                if self._ready_version != version:
+                    version = self._ready_version
+                    top = self._peek_ready()
+                    gate = top[0] if top is not None else None
+        finally:
+            if n_fired:
+                self._events.account_fired(n_fired)
+        top = self._peek_ready()
+        if top is not None and top[0] < clock:
+            # Someone is earlier: yield.
+            me.state = _READY
+            self._push_ready(me)
+            self._switch_out(me)
+        else:
+            self._retarget()
+
+    def _switch_out(self, me: _Fiber) -> None:
+        """Hand the baton to the next entity and park until resumed.
+
+        If the dispatch re-selects *me* (an event at my own clock woke me
+        back up), my baton was just released and the acquire succeeds
+        immediately, leaving it held again — the protocol is insensitive
+        to release-before-acquire ordering.
+        """
+        self._dispatch()
+        me.baton.acquire()
+        if self._failure is not None:
+            raise SimAbort()
+
+    def _dispatch(self) -> None:
+        """Select and start the next entity.  Caller must not be RUNNING.
+
+        Fires due events inline (batched), then either resumes the
+        earliest ready fiber, releases the main thread (job finished), or
+        declares deadlock.  The fired-event counter is flushed before any
+        baton release so no other fiber can race the accounting.
+        """
+        eheap = self._eheap
+        n_fired = 0
+        while True:
+            if self._failure is not None:
+                if n_fired:
+                    self._events.account_fired(n_fired)
+                self._abort_all()
+                return
+            top = self._peek_ready()
+            if top is not None and (not eheap or top[0] < eheap[0][0]):
+                heapq.heappop(self._ready)
+                ctl = top[1]
+                ctl.state = _RUNNING
+                self.switches += 1
+                self._current = ctl
+                self._retarget()
+                if n_fired:
+                    self._events.account_fired(n_fired)
+                if ctl.thread is None:
+                    self._start_fiber(ctl)
+                else:
+                    ctl.baton.release()
+                return
+            if eheap:
+                # Event is due first (ties go to events so deliveries at
+                # time t are visible to a rank resuming at time t).
+                fn = heapq.heappop(eheap)[2]
+                n_fired += 1
+                fn()
+                continue
+            # No ready ranks, no events.
+            if n_fired:
+                self._events.account_fired(n_fired)
+                n_fired = 0
+            if self._n_done == self.n_ranks:
+                self._current = None
+                self._release_main()
+                return
+            blocked = [
+                f"  rank {c.rid} (clock {c.clock:.9f}s): {c.block_reason or '<no reason>'}"
+                for c in self._ranks
+                if c.state == _BLOCKED
+            ]
+            self._fail(
+                DeadlockError(
+                    "simulation deadlock: no runnable ranks and no pending events.\n"
+                    + "\n".join(blocked)
+                )
+            )
+            return
+
+    def _start_fiber(self, ctl: _Fiber) -> None:
+        """Lazily create the carrier thread of ``ctl`` and let it run."""
+        thread = threading.Thread(
+            target=self._fiber_main,
+            args=(ctl,),
+            name=f"simrank-{ctl.rid}",
+            daemon=True,
+        )
+        ctl.thread = thread
+        thread.start()
+
+    def _fiber_main(self, ctl: _Fiber) -> None:
+        _tls.ctx = (self, ctl.rid, ctl)
+        try:
+            ctl.result = self._fn(ctl.rid)
+        except SimAbort:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            if self._failure is None:
+                failure = RankFailure(ctl.rid, f"{type(exc).__name__}: {exc}")
+                failure.__cause__ = exc
+                self._failure = failure
+            self._abort_all()
+        finally:
+            _tls.ctx = None
+            ctl.state = _DONE
+            ctl.client = None
+            self._n_done += 1
+            if self._failure is None:
+                self._dispatch()
+            else:
+                self._release_main()
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+        self._abort_all()
+
+    def _abort_all(self) -> None:
+        if self._aborted:
+            return
+        self._aborted = True
+        self._current = None
+        for ctl in self._ranks:
+            if ctl.state in (_BLOCKED, _READY):
+                if ctl.thread is None:
+                    ctl.state = _DONE  # never started; nothing to unwind
+                else:
+                    # Parked fiber: release its baton once so it observes
+                    # the failure, raises SimAbort, and unwinds.
+                    ctl.state = _RUNNING
+                    ctl.baton.release()
+        self._release_main()
+
+    def _release_main(self) -> None:
+        # The guard lock makes "release main exactly once" atomic even if
+        # several unwinding fibers race here.
+        if self._main_release_guard.acquire(blocking=False):
+            self._main_baton.release()
+
+    # ------------------------------------------------------------------- run
+    def run(self, fn: Callable[[int], object]) -> List[object]:
+        """Run ``fn(rank)`` on every rank to completion; return the results.
+
+        Raises :class:`RankFailure` if any rank raised, or
+        :class:`DeadlockError` if the simulation wedged.
+        """
+        if self._running:
+            raise SimError("Scheduler.run() is not reentrant")
+        self._running = True
+        self._fn = fn
+        old_stack = threading.stack_size()
+        try:
+            threading.stack_size(_STACK_BYTES)
+        except (ValueError, RuntimeError):
+            pass
+        try:
+            for ctl in self._ranks:
+                ctl.state = _READY
+                self._push_ready(ctl)
+            self._dispatch()
+            self._main_baton.acquire()
+        finally:
+            try:
+                threading.stack_size(old_stack)
+            except (ValueError, RuntimeError):
+                pass
+        for ctl in self._ranks:
+            if ctl.thread is not None:
+                ctl.thread.join(timeout=30.0)
+        if self._failure is not None:
+            raise self._failure
+        return [ctl.result for ctl in self._ranks]
+
+
+# ======================================================================
+# Thread backend (reference implementation)
+# ======================================================================
 class _RankCtl:
-    """Per-rank control block (scheduler internals)."""
+    """Per-rank control block (thread-backend internals)."""
 
     __slots__ = (
         "rid",
@@ -71,6 +633,7 @@ class _RankCtl:
         "ready_stamp",
         "env",
         "pending_wake",
+        "client",
     )
 
     def __init__(self, rid: int, lock: threading.RLock):
@@ -84,16 +647,25 @@ class _RankCtl:
         self.ready_stamp = 0
         self.env: dict = {}
         #: wake timestamps received while not blocked (sticky wakes);
-        #: consumed by block() to prevent lost wakeups when events destined
-        #: for this rank fire at *future* timestamps while another
-        #: (later-clocked) rank drains the event queue
+        #: consumed by block() in timestamp order to prevent lost wakeups
         self.pending_wake: list = []
+        #: client-layer runtime attached via Scheduler.set_client
+        self.client = None
 
 
-class Scheduler:
-    """The global conservative scheduler for one SPMD job."""
+class ThreadScheduler(Scheduler):
+    """The original thread-per-rank conservative scheduler.
 
-    def __init__(self, n_ranks: int, trace: Optional[TraceBuffer] = None, max_time: float = 1e6):
+    One OS thread per rank, a global re-entrant lock, and condition
+    variable handoffs.  Slower than the coroutine backend (every baton
+    pass costs two condition-variable handoffs and every primitive takes
+    the global lock) but structurally independent — the determinism
+    cross-check for the fast path.
+    """
+
+    backend = "threads"
+
+    def __init__(self, n_ranks: int, trace: Optional[TraceBuffer] = None, max_time: float = 1e6, backend: Optional[str] = None):
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
         self.n_ranks = n_ranks
@@ -115,18 +687,12 @@ class Scheduler:
         ctx = getattr(_tls, "ctx", None)
         if ctx is None or ctx[0] is not self:
             raise SimError("not inside a rank thread of this scheduler")
-        return self._ranks[ctx[1]]
+        return ctx[2]
 
     # ------------------------------------------------------------ rank context
     def now(self) -> float:
         """Current rank's simulated clock (seconds)."""
         return self._me().clock
-
-    def rank_env(self, rid: Optional[int] = None) -> dict:
-        """Per-rank scratch dict for upper layers."""
-        if rid is None:
-            return self._me().env
-        return self._ranks[rid].env
 
     def charge(self, dt: float) -> None:
         """Advance my clock by ``dt`` seconds of simulated CPU time."""
@@ -142,11 +708,7 @@ class Scheduler:
             self._checkpoint_locked(me)
 
     def checkpoint(self) -> None:
-        """Deliver due events and yield if another entity is earlier.
-
-        Library code calls this at every synchronization-relevant point that
-        does not itself charge time.
-        """
+        """Deliver due events and yield if another entity is earlier."""
         me = self._me()
         with self._lock:
             self._check_abort()
@@ -161,10 +723,7 @@ class Scheduler:
             self._events.push(me.clock + delay, fn)
 
     def post_at(self, t: float, fn: Callable[[], None]) -> None:
-        """Schedule a network-context callback at absolute time ``t``.
-
-        Callable from network context (events posting follow-on events).
-        """
+        """Schedule a network-context callback at absolute time ``t``."""
         with self._lock:
             self._events.push(t, fn)
 
@@ -173,19 +732,8 @@ class Scheduler:
         me = self._me()
         with self._lock:
             self._check_abort()
-            if me.pending_wake:
-                # Wakes targeted us while we were runnable.  Any in our
-                # past means state already changed: return immediately
-                # (spurious wake; the caller re-checks its predicate).
-                # Otherwise convert the earliest future one into a timer so
-                # we resume exactly then; later ones stay pending.
-                past = [t for t in me.pending_wake if t <= me.clock]
-                if past:
-                    me.pending_wake = [t for t in me.pending_wake if t > me.clock]
-                    return
-                t = min(me.pending_wake)
-                me.pending_wake.remove(t)
-                self._events.push(t, lambda: self.wake(me.rid, t))
+            if me.pending_wake and _consume_pending_wakes(self, me):
+                return
             me.state = _BLOCKED
             me.block_reason = reason
             self.trace.record(me.clock, me.rid, "block", reason)
@@ -195,23 +743,9 @@ class Scheduler:
             self._check_abort()
             self.trace.record(me.clock, me.rid, "resume", reason)
 
-    def sleep(self, dt: float) -> None:
-        """Block for ``dt`` seconds of simulated time (pure delay)."""
-        me = self._me()
-        deadline = me.clock + dt
-        self.post(dt, lambda: self.wake(me.rid, deadline))
-        while me.clock < deadline:
-            self.block(f"sleep until {deadline}")
-        self.checkpoint()
-
     # -------------------------------------------------------- network context
     def wake(self, rid: int, at_time: float) -> None:
-        """Make rank ``rid`` runnable with clock >= ``at_time``.
-
-        Network-context only (the scheduler lock is already held because all
-        events run under it); also safe from rank context thanks to the
-        reentrant lock.
-        """
+        """Make rank ``rid`` runnable with clock >= ``at_time``."""
         with self._lock:
             ctl = self._ranks[rid]
             if ctl.state == _BLOCKED:
@@ -220,10 +754,6 @@ class Scheduler:
                 ctl.state = _READY
                 self._push_ready(ctl)
             elif ctl.state in (_READY, _RUNNING):
-                # Sticky wake: the rank is runnable at an earlier clock and
-                # may block before reaching ``at_time``; remember every such
-                # wake so its next block() converts them into timers instead
-                # of sleeping forever (lost-wakeup guard).
                 ctl.pending_wake.append(at_time)
             # DONE: nothing to do.
 
@@ -249,11 +779,8 @@ class Scheduler:
         return ctl
 
     def _checkpoint_locked(self, me: _RankCtl) -> None:
-        # Deliver due events — but only those that are *globally* minimal:
-        # an event must never fire while a READY rank with an earlier clock
-        # has not yet executed up to the event's timestamp (it could still
-        # create causally-prior effects).  Blocked ranks do not gate firing:
-        # they cannot act until an event wakes them.
+        # Same globally-minimal delivery rule as the coroutine backend's
+        # _checkpoint_slow (see there for the invariant).
         while True:
             et = self._events.peek_time()
             if et is None or et > me.clock:
@@ -328,7 +855,7 @@ class Scheduler:
 
     # ------------------------------------------------------------------- run
     def _bootstrap(self, ctl: _RankCtl, fn: Callable[[int], object]) -> None:
-        _tls.ctx = (self, ctl.rid)
+        _tls.ctx = (self, ctl.rid, ctl)
         try:
             with self._lock:
                 while ctl.state != _RUNNING:
@@ -349,6 +876,7 @@ class Scheduler:
             _tls.ctx = None
             with self._lock:
                 ctl.state = _DONE
+                ctl.client = None
                 self._n_done += 1
                 if self._failure is None:
                     self._dispatch_locked()
@@ -356,11 +884,7 @@ class Scheduler:
                     self._main_cond.notify()
 
     def run(self, fn: Callable[[int], object]) -> List[object]:
-        """Run ``fn(rank)`` on every rank to completion; return the results.
-
-        Raises :class:`RankFailure` if any rank raised, or
-        :class:`DeadlockError` if the simulation wedged.
-        """
+        """Run ``fn(rank)`` on every rank to completion; return the results."""
         if self._running:
             raise SimError("Scheduler.run() is not reentrant")
         self._running = True
@@ -403,21 +927,20 @@ class Scheduler:
             raise self._failure
         return [ctl.result for ctl in self._ranks]
 
-    # ------------------------------------------------------------ diagnostics
     def snapshot(self) -> str:
-        """Human-readable state of all ranks (for error messages/tests)."""
         with self._lock:
-            lines = [
-                f"rank {c.rid}: {_STATE_NAMES[c.state]} clock={c.clock:.9f}"
-                + (f" [{c.block_reason}]" if c.state == _BLOCKED else "")
-                for c in self._ranks
-            ]
-            lines.append(f"pending events: {len(self._events)}; switches: {self.switches}")
-            return "\n".join(lines)
+            return Scheduler.snapshot(self)
+
+
+#: backend name -> implementation class
+_BACKENDS = {
+    "coroutines": CoroutineScheduler,
+    "threads": ThreadScheduler,
+}
 
 
 def current_scheduler() -> Scheduler:
-    """The scheduler of the calling rank thread."""
+    """The scheduler of the calling rank context."""
     ctx = getattr(_tls, "ctx", None)
     if ctx is None:
         raise SimError("no active simulation on this thread")
@@ -425,11 +948,24 @@ def current_scheduler() -> Scheduler:
 
 
 def current_rank() -> int:
-    """The rank id of the calling rank thread."""
+    """The rank id of the calling rank context."""
     ctx = getattr(_tls, "ctx", None)
     if ctx is None:
         raise SimError("no active simulation on this thread")
     return ctx[1]
+
+
+def current_client():
+    """The client-layer object attached via :meth:`Scheduler.set_client`.
+
+    O(1) slot read — the hot path for per-operation runtime lookups.
+    Returns None if no client is attached; raises :class:`SimError`
+    outside a simulation.
+    """
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise SimError("no active simulation on this thread")
+    return ctx[2].client
 
 
 def run_spmd(
@@ -437,7 +973,8 @@ def run_spmd(
     n_ranks: int,
     trace: Optional[TraceBuffer] = None,
     max_time: float = 1e6,
+    backend: Optional[str] = None,
 ) -> Sequence[object]:
     """Convenience wrapper: build a scheduler and run ``fn`` on every rank."""
-    sched = Scheduler(n_ranks, trace=trace, max_time=max_time)
+    sched = Scheduler(n_ranks, trace=trace, max_time=max_time, backend=backend)
     return sched.run(fn)

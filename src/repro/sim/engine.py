@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
+_INF = float("inf")
+
 
 class EventQueue:
     """A deterministic priority queue of timestamped callbacks."""
@@ -29,8 +31,10 @@ class EventQueue:
 
     def push(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to fire at simulated ``time``."""
-        if time != time or time < 0:  # NaN or negative
+        if time != time or time < 0 or time == _INF:  # NaN, negative, or inf
             raise ValueError(f"invalid event time: {time!r}")
+        if not callable(fn):
+            raise TypeError(f"event callback must be callable, got {type(fn).__name__}")
         heapq.heappush(self._heap, (time, self._seq, fn))
         self._seq += 1
         self._count_posted += 1
@@ -46,6 +50,15 @@ class EventQueue:
         time, _seq, fn = heapq.heappop(self._heap)
         self._count_fired += 1
         return time, fn
+
+    def account_fired(self, n: int) -> None:
+        """Batched-drain accounting: credit ``n`` events popped directly.
+
+        Schedulers that drain ``_heap`` in a tight loop (popping entries
+        without calling :meth:`pop`) flush their fired-count once per batch
+        through this method so :attr:`stats` stays accurate.
+        """
+        self._count_fired += n
 
     def __len__(self) -> int:
         return len(self._heap)

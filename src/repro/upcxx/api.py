@@ -18,6 +18,7 @@ from repro.sim.coop import Scheduler, current_scheduler
 from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
 from repro.upcxx.errors import NotInSpmdError
 from repro.upcxx.runtime import Runtime, World, current_runtime
+from repro.util.profile import maybe_profiled, profiling_enabled
 
 #: default processes-per-node, matching the paper's configurations
 DEFAULT_PPN = {"haswell": 32, "knl": 68}
@@ -40,6 +41,8 @@ def run_spmd(
     max_time: float = 1e6,
     metrics=None,
     trace=None,
+    backend: Optional[str] = None,
+    sched_stats: Optional[dict] = None,
 ) -> List[object]:
     """Run ``fn`` as an SPMD program on ``ranks`` simulated processes.
 
@@ -52,24 +55,39 @@ def run_spmd(
     exportable to a Perfetto/Chrome trace via
     :func:`repro.util.export_chrome_trace`.  Both default to off and cost
     nothing when absent.
+
+    ``backend`` selects the scheduler implementation ("coroutines" or
+    "threads"; default: ``$REPRO_SIM_BACKEND`` or coroutines).  Pass a
+    dict as ``sched_stats`` to receive the scheduler's run counters
+    (switches, events fired — see :meth:`Scheduler.stats`) after the run.
     """
     ppn = ppn if ppn is not None else default_ppn(platform)
     machine = Machine.for_ranks(ranks, ppn, name=platform)
     network = network if network is not None else AriesNetwork()
     cpu = cpu if cpu is not None else platform_cpu(platform)
-    sched = Scheduler(ranks, trace=trace, max_time=max_time)
+    sched = Scheduler(ranks, trace=trace, max_time=max_time, backend=backend)
     world = World(sched, machine, network, cpu, costs, segment_size, seed, metrics=metrics)
 
     def bootstrap(rank: int):
         rt = Runtime(world, rank)
+        sched.set_client(rt)
         sched.rank_env()["upcxx_rt"] = rt
         sched.rank_env()["upcxx_world"] = world
+        body = fn
+        if profiling_enabled():
+            # REPRO_PROFILE=1: cProfile one rank's body (see util.profile)
+            body = maybe_profiled(fn, rank)
         try:
-            return fn()
+            return body()
         finally:
+            sched.set_client(None)
             sched.rank_env().pop("upcxx_rt", None)
 
-    return sched.run(bootstrap)
+    try:
+        return sched.run(bootstrap)
+    finally:
+        if sched_stats is not None:
+            sched_stats.update(sched.stats())
 
 
 # ----------------------------------------------------------------- queries

@@ -42,7 +42,8 @@ class Future:
     def __init__(self, rt=None):
         self._ready = False
         self._values: Tuple = ()
-        self._callbacks: List[Callable[[], None]] = []
+        #: lazily allocated — most futures never get a callback
+        self._callbacks: Optional[List[Callable[[], None]]] = None
         self._rt = rt
 
     # ------------------------------------------------------------- queries
@@ -71,9 +72,10 @@ class Future:
             raise UpcxxError("future fulfilled twice")
         self._ready = True
         self._values = tuple(values)
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb()
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks is not None:
+            for cb in callbacks:
+                cb()
 
     # ------------------------------------------------------------ chaining
     def _runtime(self):
@@ -93,7 +95,7 @@ class Future:
         out = Future(rt)
 
         def run():
-            rt.charge_sw(rt.costs.then_dispatch)
+            rt.sched.charge(rt._c_then_dispatch)
             res = fn(*self._values)
             if isinstance(res, Future):
                 res._on_ready(lambda: out._fulfill(res._values))
@@ -108,6 +110,8 @@ class Future:
     def _on_ready(self, cb: Callable[[], None]) -> None:
         if self._ready:
             cb()
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 
@@ -120,7 +124,8 @@ class Future:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         if self._ready:
             return f"<Future ready {self._values!r}>"
-        return f"<Future pending ({len(self._callbacks)} callbacks)>"
+        n = 0 if self._callbacks is None else len(self._callbacks)
+        return f"<Future pending ({n} callbacks)>"
 
 
 class Promise:

@@ -61,14 +61,14 @@ def rput(
     if nbytes > dest.nbytes:
         raise GlobalPtrError(f"rput of {nbytes}B exceeds destination span of {dest.nbytes}B")
     rt.n_rputs += 1
-    rt.charge_sw(rt.costs.rma_inject)
+    rt.sched.charge(rt._c_rma_inject)
     promise, fut = resolve(cx, rt)
     remote_rpc = cx.remote_rpc if cx is not None else None
     path = _pick_path(rt, nbytes)
 
     def injector():
         opid = rt.next_op_id()
-        rt.actQ[opid] = f"rput {nbytes}B -> {dest.rank}"
+        rt.actQ[opid] = ("rput", nbytes, dest.rank)
         t_active = rt.now()
 
         on_remote_commit = None
@@ -79,10 +79,10 @@ def rput(
 
             def on_remote_commit(arrival: float):  # network context at target
                 target_rt = target_rt_holder[dst_rank]
-                item = CompQItem(
-                    cost=target_rt.cpu.t(target_rt.costs.rpc_dispatch),
-                    fn=lambda: fn(*args),
-                    kind="remote_cx_rpc",
+                item = CompQItem.acquire(
+                    target_rt._c_rpc_dispatch,
+                    lambda: fn(*args),
+                    "remote_cx_rpc",
                     nbytes=nbytes,
                     t_active=t_active,
                 )
@@ -100,7 +100,7 @@ def rput(
                     promise.fulfill_anonymous(1)
 
             rt.gasnet_completed(
-                CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rput", nbytes, t_active),
+                CompQItem.acquire(rt._c_completion, fulfill, "rput", nbytes, t_active),
                 h.time_done,
             )
             rt.sched.wake(rt.rank, h.time_done)
@@ -130,7 +130,7 @@ def rget(
         raise GlobalPtrError(f"rget of {n} elements outside span of {src.count}")
     nbytes = n * src.itemsize
     rt.n_rgets += 1
-    rt.charge_sw(rt.costs.rma_inject)
+    rt.sched.charge(rt._c_rma_inject)
     promise, fut = resolve(cx, rt)
     # a user-supplied promise may track many operations, so it is fulfilled
     # anonymously (no value); only the default as_future carries the data
@@ -140,7 +140,7 @@ def rget(
 
     def injector():
         opid = rt.next_op_id()
-        rt.actQ[opid] = f"rget {nbytes}B <- {src.rank}"
+        rt.actQ[opid] = ("rget", nbytes, src.rank)
         t_active = rt.now()
         handle = rt.conduit.get_nb(rt.rank, src.rank, src.offset, nbytes, path)
 
@@ -159,7 +159,7 @@ def rget(
                 promise.fulfill_result(value)
 
             rt.gasnet_completed(
-                CompQItem(rt.cpu.t(rt.costs.completion), fulfill, "rget", nbytes, t_active),
+                CompQItem.acquire(rt._c_completion, fulfill, "rget", nbytes, t_active),
                 h.time_done,
             )
             rt.sched.wake(rt.rank, h.time_done)

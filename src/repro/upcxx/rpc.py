@@ -61,14 +61,21 @@ class _UnresolvedDistObject(Exception):
         self.key = key
 
 
+#: late-bound DistObject class (import cycle: dist_object imports rpc)
+_DistObject = None
+
+
 def _translate_args_out(rt: Runtime, args: tuple) -> tuple:
     """Initiator side: replace DistObject arguments by wire references.
 
     Recurses through containers so dist_objects nested in lists/dicts
     (e.g. forwarded argument packs) are translated too.
     """
-    from repro.upcxx.dist_object import DistObject
+    global _DistObject
+    if _DistObject is None:
+        from repro.upcxx.dist_object import DistObject as _DistObject  # noqa: F811
 
+    DistObject = _DistObject
     fns: list = []
 
     def walk(a):
@@ -127,13 +134,13 @@ def _inject_am(
 
     def injector():
         opid = rt.next_op_id()
-        rt.actQ[opid] = f"{tag} -> {target} ({nbytes}B)"
+        rt.actQ[opid] = (tag, target, nbytes)
         handle = rt.conduit.am_send(rt.rank, target, tag, payload, nbytes=nbytes)
         handle.on_complete(lambda h: rt.actQ.pop(opid, None))
 
     # metrics kind: the tag minus its "upcxx." namespace, so injection and
     # execution of the same op family share one name ("rpc", "rpc_reply")
-    rt.enqueue_deferred(injector, kind=tag.split(".", 1)[-1], nbytes=nbytes)
+    rt.enqueue_deferred(injector, kind=tag[6:], nbytes=nbytes)
     rt.internal_progress()
 
 
@@ -146,21 +153,16 @@ def rpc(target: int, fn: Callable, *args) -> Future:
     wire_args, fns = _translate_args_out(rt, args)
     raw = serialization.pack(wire_args)
     view_bytes = serialization.copy_free_bytes(args)
-    rt.charge_sw(rt.costs.rpc_inject)
-    rt.charge_copy(len(raw))
+    nraw = len(raw)
+    rt.sched.charge(rt._c_rpc_inject)
+    rt.charge_copy(nraw)
 
     promise = Promise(rt)
     token = rt.next_token()
     rt.reply_table[token] = promise
-    payload = {
-        "fn": fn,
-        "fns": fns,
-        "raw": raw,
-        "token": token,
-        "reply_to": rt.rank,
-        "copy_bytes": len(raw) - view_bytes,
-    }
-    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=len(raw) + _ENVELOPE_BYTES)
+    # envelope tuple: (fn, fns, raw, token, reply_to, copy_bytes)
+    payload = (fn, fns, raw, token, rt.rank, nraw - view_bytes)
+    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=nraw + _ENVELOPE_BYTES)
     return promise.get_future()
 
 
@@ -173,25 +175,20 @@ def rpc_ff(target: int, fn: Callable, *args) -> None:
     wire_args, fns = _translate_args_out(rt, args)
     raw = serialization.pack(wire_args)
     view_bytes = serialization.copy_free_bytes(args)
-    rt.charge_sw(rt.costs.rpc_inject)
-    rt.charge_copy(len(raw))
-    payload = {
-        "fn": fn,
-        "fns": fns,
-        "raw": raw,
-        "token": None,
-        "reply_to": rt.rank,
-        "copy_bytes": len(raw) - view_bytes,
-    }
-    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=len(raw) + _ENVELOPE_BYTES)
+    nraw = len(raw)
+    rt.sched.charge(rt._c_rpc_inject)
+    rt.charge_copy(nraw)
+    payload = (fn, fns, raw, None, rt.rank, nraw - view_bytes)
+    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=nraw + _ENVELOPE_BYTES)
 
 
 # --------------------------------------------------------------- dispatchers
-def _execute_rpc_body(rt: Runtime, payload: dict) -> None:
+def _execute_rpc_body(rt: Runtime, payload: tuple) -> None:
     """Run an incoming RPC (rank context, inside user progress)."""
-    args = serialization.unpack(payload["raw"])
+    fn, fns, raw, token, reply_to, _copy_bytes = payload
+    args = serialization.unpack(raw)
     try:
-        resolved = _resolve_args_in(rt, args, payload.get("fns", []))
+        resolved = _resolve_args_in(rt, args, fns)
     except _UnresolvedDistObject as ex:
         # Defer until the local representative is constructed.
         item = CompQItem(0.0, lambda: _execute_rpc_body(rt, payload), "rpc-deferred")
@@ -199,23 +196,20 @@ def _execute_rpc_body(rt: Runtime, payload: dict) -> None:
         return
 
     rt.n_rpcs_executed += 1
-    result = payload["fn"](*resolved)
-    token = payload["token"]
+    result = fn(*resolved)
     if token is None:
         return
 
-    reply_to = payload["reply_to"]
-
     def send_reply(values: tuple) -> None:
-        raw = serialization.pack(values)
-        rt.charge_sw(rt.costs.rpc_reply_inject)
-        rt.charge_copy(len(raw))
+        reply_raw = serialization.pack(values)
+        rt.sched.charge(rt._c_rpc_reply_inject)
+        rt.charge_copy(len(reply_raw))
         _inject_am(
             rt,
             reply_to,
             "upcxx.rpc_reply",
-            {"token": token, "raw": raw},
-            nbytes=len(raw) + _ENVELOPE_BYTES,
+            (token, reply_raw),
+            nbytes=len(reply_raw) + _ENVELOPE_BYTES,
         )
 
     if isinstance(result, Future):
@@ -229,23 +223,25 @@ def _execute_rpc_body(rt: Runtime, payload: dict) -> None:
 def _dispatch_rpc(rt: Runtime, msg) -> CompQItem:
     """Build the compQ item for an arrived RPC request."""
     payload = msg.payload
-    cost = rt.cpu.t(rt.costs.rpc_dispatch) + rt.cpu.copy_time(payload["copy_bytes"])
-    return CompQItem(cost, lambda: _execute_rpc_body(rt, payload), "rpc", nbytes=msg.nbytes)
+    cost = rt._c_rpc_dispatch + rt.copy_time(payload[5])
+    return CompQItem.acquire(
+        cost, lambda: _execute_rpc_body(rt, payload), "rpc", nbytes=msg.nbytes
+    )
 
 
 def _dispatch_rpc_reply(rt: Runtime, msg) -> CompQItem:
     """Build the compQ item for an arrived RPC reply."""
-    payload = msg.payload
+    token, raw = msg.payload
 
     def run():
-        promise = rt.reply_table.pop(payload["token"], None)
+        promise = rt.reply_table.pop(token, None)
         if promise is None:
-            raise UpcxxError(f"orphan rpc reply token {payload['token']}")
-        values = serialization.unpack(payload["raw"])
+            raise UpcxxError(f"orphan rpc reply token {token}")
+        values = serialization.unpack(raw)
         promise.fulfill_result(*values)
 
-    cost = rt.cpu.t(rt.costs.completion) + rt.cpu.copy_time(len(payload["raw"]))
-    return CompQItem(cost, run, "rpc_reply", nbytes=msg.nbytes)
+    cost = rt._c_completion + rt.copy_time(len(raw))
+    return CompQItem.acquire(cost, run, "rpc_reply", nbytes=msg.nbytes)
 
 
 register_am("upcxx.rpc", _dispatch_rpc)

@@ -27,11 +27,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, List, Optional
 
+from repro.gasnet.am import AMMessage
 from repro.gasnet.conduit import Conduit
 from repro.gasnet.cpumodel import CpuModel
 from repro.gasnet.machine import Machine
 from repro.gasnet.network import NetworkModel
-from repro.sim.coop import Scheduler, current_scheduler
+from repro.sim.coop import Scheduler, current_client, current_scheduler
 from repro.sim.rng import RankRandom
 from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
 from repro.upcxx.errors import NotInSpmdError
@@ -46,9 +47,16 @@ class CompQItem:
     conduit), and the time its completion was staged for promotion.  They
     feed the op-lifecycle dwell histograms when metrics are enabled and
     cost nothing otherwise.
+
+    Items are single-use (built, executed once by user progress, dead), so
+    ``progress()`` recycles them through a free list; hot creators go
+    through :meth:`acquire`.
     """
 
     __slots__ = ("cost", "fn", "kind", "nbytes", "t_active", "t_staged")
+
+    _pool: list = []
+    _POOL_MAX = 256
 
     def __init__(
         self,
@@ -65,6 +73,37 @@ class CompQItem:
         self.nbytes = nbytes
         self.t_active = t_active
         self.t_staged = t_staged
+
+    @classmethod
+    def acquire(
+        cls,
+        cost: float,
+        fn: Callable[[], None],
+        kind: str = "op",
+        nbytes: int = 0,
+        t_active: Optional[float] = None,
+        t_staged: Optional[float] = None,
+    ) -> "CompQItem":
+        """Pooled constructor: reuse an executed item when one is free."""
+        pool = cls._pool
+        if pool:
+            item = pool.pop()
+            item.cost = cost
+            item.fn = fn
+            item.kind = kind
+            item.nbytes = nbytes
+            item.t_active = t_active
+            item.t_staged = t_staged
+            return item
+        return cls(cost, fn, kind, nbytes, t_active, t_staged)
+
+    @classmethod
+    def release(cls, item: "CompQItem") -> None:
+        """Return an executed item to the free list (caller owns it)."""
+        pool = cls._pool
+        if len(pool) < cls._POOL_MAX:
+            item.fn = None
+            pool.append(item)
 
 
 class World:
@@ -111,6 +150,23 @@ class Runtime:
         self.metrics = world.metrics.rank(rank) if world.metrics is not None else None
         #: scheduler trace buffer (records only when the buffer is enabled)
         self._trace = world.sched.trace
+        #: this rank's AM inbox (cached; hot-path polled every progress)
+        self._inbox = world.conduit.inbox(rank)
+
+        # Precomputed platform-scaled charges for the per-op hot path.
+        # cpu.t(base) is a single multiply, so memoizing the product here
+        # is bit-identical to charging cpu.t(costs.x) at each call site.
+        cpu = world.cpu
+        costs = world.costs
+        self._c_progress_poll = cpu.t(costs.progress_poll)
+        self._c_rpc_inject = cpu.t(costs.rpc_inject)
+        self._c_rpc_reply_inject = cpu.t(costs.rpc_reply_inject)
+        self._c_rma_inject = cpu.t(costs.rma_inject)
+        self._c_completion = cpu.t(costs.completion)
+        self._c_rpc_dispatch = cpu.t(costs.rpc_dispatch)
+        self._c_then_dispatch = cpu.t(costs.then_dispatch)
+        #: memo of copy_time(nbytes) — workloads reuse a few payload sizes
+        self._copy_cache: dict = {}
 
         # §III queues
         self.defQ: deque = deque()  # (injector, kind, nbytes, t_enqueued)
@@ -154,7 +210,14 @@ class Runtime:
     def charge_copy(self, nbytes: int) -> None:
         """Charge a CPU copy/serialization of ``nbytes``."""
         if nbytes > 0:
-            self.sched.charge(self.cpu.copy_time(nbytes))
+            self.sched.charge(self.copy_time(nbytes))
+
+    def copy_time(self, nbytes: int) -> float:
+        """Memoized ``cpu.copy_time`` (same division, computed once/size)."""
+        t = self._copy_cache.get(nbytes)
+        if t is None:
+            t = self._copy_cache[nbytes] = self.cpu.copy_time(nbytes)
+        return t
 
     def compute(self, seconds: float) -> None:
         """Model application computation (no progress happens inside)."""
@@ -206,69 +269,91 @@ class Runtime:
         compQ, and moves due inbox AMs into compQ.  Does NOT execute compQ.
         """
         # ensure due network events have been delivered at our clock
-        self.sched.checkpoint()
+        sched = self.sched
+        sched.checkpoint()
         m = self.metrics
         if m is not None:
             m.sample_queues(
-                self.sched.now(), len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)
+                sched.now(), len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)
             )
-        while self.defQ:
-            injector, kind, nbytes, t_enq = self.defQ.popleft()
+        defQ = self.defQ
+        while defQ:
+            injector, kind, nbytes, t_enq = defQ.popleft()
             if m is not None:
-                m.op_injected(kind, nbytes, self.sched.now() - t_enq)
+                m.op_injected(kind, nbytes, sched.now() - t_enq)
             injector()
-        while self._gasnet_done:
-            self.compQ.append(self._gasnet_done.popleft())
-        inbox = self.conduit.inbox(self.rank)
-        now = self.sched.now()
-        while inbox.has_due(now):
-            msg = inbox.poll(now)
-            handler = _AM_DISPATCH.get(msg.tag)
-            if handler is None:
-                raise NotInSpmdError(f"no dispatcher for AM tag {msg.tag!r}")
-            if m is not None:
-                m.am_polled(msg.tag, now - msg.arrival)
-            if self._trace.enabled:
-                self._trace.record(now, self.rank, "am", msg.tag)
-            item = handler(self, msg)
-            if item.t_staged is None:
-                item.t_staged = msg.arrival
-            if item.t_active is None:
-                item.t_active = msg.meta.get("t_injected")
-            self.compQ.append(item)
+        compQ = self.compQ
+        staged = self._gasnet_done
+        while staged:
+            compQ.append(staged.popleft())
+        # merged inbox drain: head check and pop read the deque directly
+        # (arrival times are nondecreasing, exactly what has_due/poll use)
+        inbox = self._inbox
+        queue = inbox._queue
+        if queue:
+            now = sched.now()
+            trace = self._trace
+            dispatch = _AM_DISPATCH
+            while queue and queue[0].arrival <= now:
+                inbox.n_polled += 1
+                msg = queue.popleft()
+                handler = dispatch.get(msg.tag)
+                if handler is None:
+                    raise NotInSpmdError(f"no dispatcher for AM tag {msg.tag!r}")
+                if m is not None:
+                    m.am_polled(msg.tag, now - msg.arrival)
+                if trace.enabled:
+                    trace.record(now, self.rank, "am", msg.tag)
+                item = handler(self, msg)
+                if item.t_staged is None:
+                    item.t_staged = msg.arrival
+                if item.t_active is None:
+                    meta = msg.meta
+                    if meta is not None:
+                        item.t_active = meta.get("t_injected")
+                compQ.append(item)
+                # the handler captured what it needed from the envelope
+                AMMessage.release(msg)
         if m is not None:
             m.sample_queues(
-                now, len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)
+                sched.now(), len(defQ), len(self.actQ), len(compQ), len(staged)
             )
 
     def progress(self) -> None:
         """User-level progress: also executes compQ to completion."""
         self.n_progress_calls += 1
         m = self.metrics
+        sched = self.sched
         if m is not None:
-            m.user_progress(self.sched.now())
-        self.charge_sw(self.costs.progress_poll)
+            m.user_progress(sched.now())
+        sched.charge(self._c_progress_poll)
         self.internal_progress()
-        while self.compQ:
-            item = self.compQ.popleft()
-            if item.cost > 0:
-                self.sched.charge(item.cost)
+        compQ = self.compQ
+        staged = self._gasnet_done
+        trace = self._trace
+        release = CompQItem.release
+        while compQ:
+            item = compQ.popleft()
+            cost = item.cost
+            if cost > 0:
+                sched.charge(cost)
             if m is not None:
-                m.op_executed(item, self.sched.now())
-            if self._trace.enabled:
-                self._trace.record(self.sched.now(), self.rank, "exec", item.kind)
+                m.op_executed(item, sched.now())
+            if trace.enabled:
+                trace.record(sched.now(), self.rank, "exec", item.kind)
             item.fn()
+            release(item)
             # completions staged in network context while this item executed
             # (acks that arrived during its CPU charge or nested injections)
             # must not wait for compQ to drain: promote them immediately so
             # their fulfillment time reflects attentiveness, not queue depth.
-            while self._gasnet_done:
-                self.compQ.append(self._gasnet_done.popleft())
-            if not self.compQ:
+            while staged:
+                compQ.append(staged.popleft())
+            if not compQ:
                 # executing items may have injected ops / received arrivals
                 self.internal_progress()
         if m is not None:
-            m.user_progress_done(self.sched.now())
+            m.user_progress_done(sched.now())
 
     def wait_on(self, fut: Future) -> None:
         """Spin around user progress until ``fut`` is ready (paper: wait)."""
@@ -307,9 +392,12 @@ def register_am(tag: str, builder: Callable) -> None:
 
 
 def current_runtime() -> Runtime:
-    """The calling rank's runtime (inside a UPC++ SPMD region)."""
-    sched = current_scheduler()
-    rt = sched.rank_env().get("upcxx_rt")
-    if rt is None:
+    """The calling rank's runtime (inside a UPC++ SPMD region).
+
+    Reads the scheduler's per-rank client slot (O(1)); ``rank_env()`` is
+    kept in sync by the bootstrap for external introspection.
+    """
+    rt = current_client()
+    if rt is None or not isinstance(rt, Runtime):
         raise NotInSpmdError("UPC++ is not initialized on this rank (use upcxx.run_spmd)")
     return rt

@@ -56,6 +56,28 @@ _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
 _U32 = struct.Struct("<I")
 
+# precomputed one-byte tag frames: bytes([...]) per element is a measurable
+# allocation cost on the RPC hot path, so each tag is materialized once
+_B_NONE = bytes([_T_NONE])
+_B_TRUE = bytes([_T_TRUE])
+_B_FALSE = bytes([_T_FALSE])
+_B_INT = bytes([_T_INT])
+_B_BIGINT = bytes([_T_BIGINT])
+_B_FLOAT = bytes([_T_FLOAT])
+_B_STR = bytes([_T_STR])
+_B_BYTES = bytes([_T_BYTES])
+_B_TUPLE = bytes([_T_TUPLE])
+_B_LIST = bytes([_T_LIST])
+_B_DICT = bytes([_T_DICT])
+_B_NDARRAY = bytes([_T_NDARRAY])
+_B_GPTR = bytes([_T_GPTR])
+_B_VIEW = bytes([_T_VIEW])
+_B_DISTREF = bytes([_T_DISTREF])
+_B_PICKLE = bytes([_T_PICKLE])
+_B_CUSTOM = bytes([_T_CUSTOM])
+_B_KIND_HOST = bytes([0])
+_B_KIND_DEVICE = bytes([1])
+
 
 @dataclass(frozen=True)
 class DistObjectRef:
@@ -78,45 +100,45 @@ def _pack_len(out: List[bytes], n: int) -> None:
 
 def _pack_into(out: List[bytes], obj: Any) -> None:
     if obj is None:
-        out.append(bytes([_T_NONE]))
+        out.append(_B_NONE)
     elif obj is True:
-        out.append(bytes([_T_TRUE]))
+        out.append(_B_TRUE)
     elif obj is False:
-        out.append(bytes([_T_FALSE]))
+        out.append(_B_FALSE)
     elif isinstance(obj, int):
         if -(2**63) <= obj < 2**63:
-            out.append(bytes([_T_INT]))
+            out.append(_B_INT)
             out.append(_I64.pack(obj))
         else:
             raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            out.append(bytes([_T_BIGINT]))
+            out.append(_B_BIGINT)
             _pack_len(out, len(raw))
             out.append(raw)
     elif isinstance(obj, float):
-        out.append(bytes([_T_FLOAT]))
+        out.append(_B_FLOAT)
         out.append(_F64.pack(obj))
     elif isinstance(obj, str):
         raw = obj.encode("utf-8")
-        out.append(bytes([_T_STR]))
+        out.append(_B_STR)
         _pack_len(out, len(raw))
         out.append(raw)
     elif isinstance(obj, (bytes, bytearray, memoryview)):
         raw = bytes(obj)
-        out.append(bytes([_T_BYTES]))
+        out.append(_B_BYTES)
         _pack_len(out, len(raw))
         out.append(raw)
     elif isinstance(obj, tuple):
-        out.append(bytes([_T_TUPLE]))
+        out.append(_B_TUPLE)
         _pack_len(out, len(obj))
         for x in obj:
             _pack_into(out, x)
     elif isinstance(obj, list):
-        out.append(bytes([_T_LIST]))
+        out.append(_B_LIST)
         _pack_len(out, len(obj))
         for x in obj:
             _pack_into(out, x)
     elif isinstance(obj, dict):
-        out.append(bytes([_T_DICT]))
+        out.append(_B_DICT)
         _pack_len(out, len(obj))
         for k, v in obj.items():
             _pack_into(out, k)
@@ -124,7 +146,7 @@ def _pack_into(out: List[bytes], obj: Any) -> None:
     elif isinstance(obj, View):
         arr = obj.to_numpy()
         dt = str(arr.dtype).encode()
-        out.append(bytes([_T_VIEW]))
+        out.append(_B_VIEW)
         _pack_len(out, len(dt))
         out.append(dt)
         raw = arr.tobytes()
@@ -133,7 +155,7 @@ def _pack_into(out: List[bytes], obj: Any) -> None:
     elif isinstance(obj, np.ndarray):
         dt = str(obj.dtype).encode()
         shape = obj.shape
-        out.append(bytes([_T_NDARRAY]))
+        out.append(_B_NDARRAY)
         _pack_len(out, len(dt))
         out.append(dt)
         _pack_len(out, len(shape))
@@ -145,16 +167,16 @@ def _pack_into(out: List[bytes], obj: Any) -> None:
     elif isinstance(obj, np.generic):  # numpy scalar
         _pack_into(out, obj.item())
     elif isinstance(obj, GlobalPtr):
-        out.append(bytes([_T_GPTR]))
+        out.append(_B_GPTR)
         out.append(_I64.pack(obj.rank))
         out.append(_I64.pack(obj.offset))
         dt = str(obj.dtype).encode()
         _pack_len(out, len(dt))
         out.append(dt)
         out.append(_I64.pack(obj.count))
-        out.append(bytes([0 if obj.kind == "host" else 1]))
+        out.append(_B_KIND_HOST if obj.kind == "host" else _B_KIND_DEVICE)
     elif isinstance(obj, DistObjectRef):
-        out.append(bytes([_T_DISTREF]))
+        out.append(_B_DISTREF)
         out.append(_I64.pack(obj.team_uid))
         out.append(_I64.pack(obj.index))
     elif _is_dist_object(obj):
@@ -162,7 +184,7 @@ def _pack_into(out: List[bytes], obj: Any) -> None:
         _pack_into(out, obj.ref())
     elif type(obj) in _CUSTOM_BY_CLS:
         type_id, to_wire, _from_wire = _CUSTOM_BY_CLS[type(obj)]
-        out.append(bytes([_T_CUSTOM]))
+        out.append(_B_CUSTOM)
         tid = type_id.encode()
         _pack_len(out, len(tid))
         out.append(tid)
@@ -172,7 +194,7 @@ def _pack_into(out: List[bytes], obj: Any) -> None:
             raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
-        out.append(bytes([_T_PICKLE]))
+        out.append(_B_PICKLE)
         _pack_len(out, len(raw))
         out.append(raw)
 

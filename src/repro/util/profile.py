@@ -8,10 +8,60 @@ tooling a library of this kind ships with.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.util.units import fmt_bytes, fmt_time
+
+#: environment switch: REPRO_PROFILE=1 cProfiles one rank's SPMD body
+PROFILE_ENV = "REPRO_PROFILE"
+#: which rank to profile (default 0); every rank runs the same body, so
+#: one rank's profile is representative of the shared-layer hot path
+PROFILE_RANK_ENV = "REPRO_PROFILE_RANK"
+#: optional .pstats dump path (default: print top entries to stderr)
+PROFILE_OUT_ENV = "REPRO_PROFILE_OUT"
+
+
+def profiling_enabled() -> bool:
+    """Whether REPRO_PROFILE asks for a per-rank cProfile run."""
+    return os.environ.get(PROFILE_ENV, "") not in ("", "0")
+
+
+def maybe_profiled(fn: Callable[[], object], rank: int) -> Callable[[], object]:
+    """Wrap a rank body in cProfile when REPRO_PROFILE selects this rank.
+
+    Profiling must happen *inside* the rank's fiber/thread — cProfile hooks
+    the calling thread only, so profiling the main thread (which merely
+    parks in ``Scheduler.run``) would observe nothing.  The profile is
+    dumped when the body returns: to ``$REPRO_PROFILE_OUT`` as a pstats
+    file if set, else as a top-40 cumulative-time table on stderr.
+    """
+    if not profiling_enabled() or rank != int(os.environ.get(PROFILE_RANK_ENV, "0")):
+        return fn
+
+    def profiled():
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            return fn()
+        finally:
+            prof.disable()
+            out = os.environ.get(PROFILE_OUT_ENV)
+            if out:
+                prof.dump_stats(out)
+                print(f"[repro] rank {rank} profile written to {out}", file=sys.stderr)
+            else:
+                stats = pstats.Stats(prof, stream=sys.stderr)
+                stats.sort_stats("cumulative")
+                print(f"[repro] rank {rank} cProfile (REPRO_PROFILE=1):", file=sys.stderr)
+                stats.print_stats(40)
+
+    return profiled
 
 
 @dataclass

@@ -1,0 +1,207 @@
+"""Cross-backend determinism: coroutines vs threads must be bit-identical.
+
+The coroutine scheduler (PR 2) replaces the thread/condvar scheduler on
+the hot path but must preserve the simulation *exactly*: same simulated
+times, same results, same trace — down to the last bit.  These tests run
+identical workloads on both backends and compare:
+
+- Fig. 3a blocking-put latency series (float series equality),
+- DHT insert totals (elapsed simulated time per rank),
+- ``TraceBuffer.fingerprint()`` digests (order-sensitive hash of every
+  scheduler block/resume record),
+- scheduler counters (switches, events fired — the execution schedule
+  itself, not just its outcome).
+
+Also here: the lost-wakeup regression test for sticky ``pending_wake``
+consumption, on both backends (wakes arriving while a rank is runnable
+must be drained in timestamp order, never dropped).
+"""
+
+import numpy as np
+import pytest
+
+import repro.upcxx as upcxx
+from repro.sim.coop import Scheduler, current_scheduler, run_spmd
+from repro.util.trace import TraceBuffer
+
+BACKENDS = ("coroutines", "threads")
+
+
+def _both_backends(fn):
+    """Run ``fn(backend)`` for both backends, return {backend: result}."""
+    return {b: fn(b) for b in BACKENDS}
+
+
+# ----------------------------------------------------------- Fig. 3a series
+def _fig3a_series(backend):
+    sizes = [8, 64, 512, 4096, 65536]
+    out = {}
+
+    def body():
+        me = upcxx.rank_me()
+        landing = upcxx.new_array(np.uint8, max(sizes))
+        dest = upcxx.broadcast(landing, root=1).wait()
+        upcxx.barrier()
+        if me == 0:
+            for size in sizes:
+                payload = bytes(size)
+                t0 = upcxx.sim_now()
+                for _ in range(4):
+                    upcxx.rput(payload, dest).wait()
+                out[size] = upcxx.sim_now() - t0
+        upcxx.barrier()
+
+    stats: dict = {}
+    upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend=backend, sched_stats=stats)
+    return out, stats
+
+
+def test_fig3a_latency_series_bit_identical():
+    got = _both_backends(_fig3a_series)
+    series_c, stats_c = got["coroutines"]
+    series_t, stats_t = got["threads"]
+    assert series_c == series_t  # float == float: bit-identical or bust
+    assert stats_c["events_fired"] == stats_t["events_fired"]
+    assert stats_c["switches"] == stats_t["switches"]
+
+
+# --------------------------------------------------------------- DHT totals
+def _dht_totals(backend):
+    from repro.apps.dht import DhtRmaLz
+
+    def body():
+        dht = DhtRmaLz()
+        rng = upcxx.runtime_here().rng.spawn("dht-bench")
+        payload = bytes(1024)
+        upcxx.barrier()
+        t0 = upcxx.sim_now()
+        for _ in range(6):
+            dht.insert(rng.key64(), payload).wait()
+        upcxx.barrier()
+        return upcxx.sim_now() - t0
+
+    return upcxx.run_spmd(body, 16, platform="haswell", backend=backend)
+
+
+def test_dht_insert_totals_bit_identical():
+    got = _both_backends(_dht_totals)
+    assert got["coroutines"] == got["threads"]
+
+
+# ------------------------------------------------------------ trace digests
+def _traced_run(backend):
+    trace = TraceBuffer()
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        fut = upcxx.rpc((me + 1) % n, lambda: upcxx.rank_me())
+        assert fut.wait() == (me + 1) % n
+        upcxx.barrier()
+
+    upcxx.run_spmd(body, 8, platform="haswell", backend=backend, trace=trace)
+    return trace
+
+
+def test_trace_digests_bit_identical():
+    got = _both_backends(_traced_run)
+    assert len(got["coroutines"]) > 0
+    assert len(got["coroutines"]) == len(got["threads"])
+    assert got["coroutines"].fingerprint() == got["threads"].fingerprint()
+
+
+# ------------------------------------------------------ scheduler-level runs
+def _mixed_wake_run(backend):
+    """Raw scheduler workload mixing sleeps, posts, and cross-rank wakes."""
+    log = []
+
+    def body(r):
+        s = current_scheduler()
+        s.charge(1e-6 * (r + 1))
+        s.sleep(5e-6)
+        s.charge(2e-6)
+        if r == 0:
+            for other in range(1, s.n_ranks):
+                # fixed wake times: now() is rank-context-only, events are not
+                s.post(1e-6 * other, lambda o=other: s.wake(o, 15e-6 + 1e-6 * o))
+        s.sleep(20e-6)
+        log.append((r, s.now()))
+        return s.now()
+
+    sched = Scheduler(4, backend=backend)
+    out = sched.run(body)
+    return out, sorted(log), sched.stats()
+
+
+def test_scheduler_mixed_wakes_bit_identical():
+    got = _both_backends(_mixed_wake_run)
+    out_c, log_c, stats_c = got["coroutines"]
+    out_t, log_t, stats_t = got["threads"]
+    assert out_c == out_t
+    assert log_c == log_t
+    assert stats_c["switches"] == stats_t["switches"]
+    assert stats_c["events_fired"] == stats_t["events_fired"]
+
+
+# ------------------------------------------------------- lost-wakeup guard
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pending_wakes_drain_in_timestamp_order(backend):
+    """Wakes landing while a rank is RUNNING must not be lost or reordered.
+
+    Rank 1 receives two out-of-order wakes (t=30us then t=10us) while it
+    is still running.  When it then blocks, the *earlier* wake must be
+    consumed first: rank 1 resumes at 10us, not 30us.  Before the
+    sort-before-consume fix, the wake list was consumed in arrival order
+    and the 10us wake could be shadowed by the 30us one.
+    """
+    resumes = []
+
+    def body(r):
+        s = current_scheduler()
+        if r == 0:
+            # deliver wakes to rank 1 while it is still RUNNING
+            s.post(5e-6, lambda: s.wake(1, 30e-6))
+            s.post(6e-6, lambda: s.wake(1, 10e-6))
+            s.sleep(50e-6)
+        else:
+            s.charge(8e-6)  # stay RUNNING past both wake deliveries
+            s.block("first wait")
+            resumes.append(s.now())
+            s.block("second wait")
+            resumes.append(s.now())
+        return s.now()
+
+    run_spmd(body, 2, backend=backend)
+    assert resumes == [10e-6, 30e-6]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_spurious_past_wake_returns_immediately(backend):
+    """A pending wake at or before the rank's clock makes block() a no-op."""
+
+    def body(r):
+        s = current_scheduler()
+        if r == 0:
+            s.post(1e-6, lambda: s.wake(1, 2e-6))
+            s.sleep(20e-6)
+        else:
+            s.charge(10e-6)  # wake lands while running, already in the past
+            s.block("should not sleep")
+            assert s.now() == 10e-6  # unchanged: spurious return
+        return s.now()
+
+    run_spmd(body, 2, backend=backend)
+
+
+def test_backend_factory_and_env(monkeypatch):
+    from repro.sim import coop
+
+    assert Scheduler(2, backend="threads").backend == "threads"
+    assert Scheduler(2, backend="coroutines").backend == "coroutines"
+    assert isinstance(Scheduler(2, backend="threads"), Scheduler)
+    monkeypatch.setenv(coop.BACKEND_ENV, "threads")
+    assert Scheduler(2).backend == "threads"
+    monkeypatch.delenv(coop.BACKEND_ENV)
+    assert Scheduler(2).backend == coop.DEFAULT_BACKEND
+    with pytest.raises(ValueError):
+        Scheduler(2, backend="fibers-from-the-future")

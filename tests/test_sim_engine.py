@@ -57,6 +57,33 @@ def test_rejects_negative_and_nan_times():
         q.push(float("nan"), lambda: None)
 
 
+def test_rejects_infinite_time():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(float("inf"), lambda: None)
+    assert len(q) == 0
+
+
+def test_rejects_non_callable_fn():
+    q = EventQueue()
+    with pytest.raises(TypeError):
+        q.push(1.0, None)
+    with pytest.raises(TypeError):
+        q.push(1.0, "not-a-function")
+    assert len(q) == 0
+    # rejected pushes must not count as posted
+    assert q.stats["posted"] == 0
+
+
+def test_account_fired_matches_pop_accounting():
+    q = EventQueue()
+    for i in range(4):
+        q.push(float(i), lambda: None)
+    q.pop()
+    q.account_fired(2)  # batched drain bookkeeping (see coop._checkpoint_slow)
+    assert q.stats["fired"] == 3
+
+
 def test_stats_counters():
     q = EventQueue()
     for i in range(5):
