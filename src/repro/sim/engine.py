@@ -39,6 +39,21 @@ class EventQueue:
         self._seq += 1
         self._count_posted += 1
 
+    def push_keyed(self, time: float, key, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at ``time`` with an explicit tie-break ``key``.
+
+        Used by the sharded backend, where the local insertion counter is
+        meaningless across processes: ``key`` is a causal stamp that totally
+        orders same-instant events identically on every shard.  ``key`` must
+        be orderable against every other key pushed into this queue.
+        """
+        if time != time or time < 0 or time == _INF:  # NaN, negative, or inf
+            raise ValueError(f"invalid event time: {time!r}")
+        if not callable(fn):
+            raise TypeError(f"event callback must be callable, got {type(fn).__name__}")
+        heapq.heappush(self._heap, (time, key, fn))
+        self._count_posted += 1
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest pending event, or ``None`` if empty."""
         if not self._heap:
@@ -50,6 +65,12 @@ class EventQueue:
         time, _seq, fn = heapq.heappop(self._heap)
         self._count_fired += 1
         return time, fn
+
+    def pop_entry(self):
+        """Pop the earliest event as ``(time, key, fn)`` (key = tie-break)."""
+        time, key, fn = heapq.heappop(self._heap)
+        self._count_fired += 1
+        return time, key, fn
 
     def account_fired(self, n: int) -> None:
         """Batched-drain accounting: credit ``n`` events popped directly.

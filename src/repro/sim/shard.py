@@ -1,0 +1,880 @@
+"""Sharded multi-core backend: conservative parallel DES over forked workers.
+
+``Scheduler(backend="sharded")`` partitions the simulated *nodes* across N
+``multiprocessing`` worker processes (``REPRO_SIM_SHARDS``, default: CPU
+count, clamped to the node count) and runs a Chandy–Misra–Bryant-style
+conservative window loop in each worker:
+
+1. **Lookahead.**  Shards own whole nodes, so every cross-shard message is
+   a cross-*node* message and cannot arrive earlier than
+   ``NetworkModel.latency_oneway`` (0.65 us on Aries) after it was created.
+   Intra-node traffic (the small ``latency_oneway_shm``) never crosses a
+   shard and therefore never shrinks the lookahead.
+2. **Windows.**  Each shard advances its local event heap and ready ranks
+   strictly below ``bound = min(peer horizons) + lookahead``.  At the
+   window edge it exchanges, with every peer over a pipe pair: first the
+   cross-shard *envelopes* it produced (puts/gets/AMs/completions, plus
+   its done-rank count), then — after inserting the incoming envelopes —
+   its new *horizon* (earliest local event or ready rank).  Horizons are
+   announced post-insertion, so an idle peer can never advertise +inf
+   while envelopes to it are still in flight.  Every event a shard fires
+   at local time t creates cross-shard effects no earlier than
+   ``t + lookahead >= horizon + lookahead``, hence nothing a peer already
+   executed (strictly below its bound) can be invalidated: no rollbacks,
+   no speculation.
+3. **Determinism.**  Events are keyed ``(fire_time, stamp)`` where the
+   *stamp* is a causal tuple — ``(create_time, rank, seq)`` for rank
+   posts, ``parent_stamp + (child_seq,)`` for events posted from network
+   context — identical no matter which shard executes what when.  Merged
+   results, simulated times and canonical trace fingerprints are
+   bit-identical to the coroutine/threads backends
+   (tests/test_backend_determinism.py).  The one theoretical divergence:
+   two events firing at the *exact same instant* where one was posted by
+   a rank after another rank posted the chain parent of the other — the
+   library never races same-instant effects on shared state, and the
+   determinism suite pins the equivalence.
+
+Known limitations (all raise a clear ``SimError``):
+
+- direct cross-shard segment/inbox access (``conduit.segment(remote)``;
+  used by the v0.1 async layer and the device/VIS paths) — use the
+  coroutines backend for those;
+- side effects of the SPMD body (closure mutation) stay in the worker
+  process: results must flow through return values (as in real UPC++);
+- without a configured machine (raw ``Scheduler`` use), there is no
+  lookahead and the job degenerates to a single shard.
+
+Failure/termination: done-rank counts ride on every envelope exchange;
+when every shard announces an +inf horizon the job is either complete or
+globally deadlocked (each worker reaches the same verdict from the same
+data).  A failing shard replaces its envelope frame with a FAIL frame so
+peers never block on it; the parent re-raises the original failure.
+"""
+
+from __future__ import annotations
+
+import heapq
+import io
+import marshal
+import os
+import pickle
+import struct
+import sys
+import threading
+import types
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.coop import (
+    _BACKENDS,
+    _BLOCKED,
+    _READY,
+    _RUNNING,
+    _STACK_BYTES,
+    CoroutineScheduler,
+    Scheduler,
+)
+
+from repro.sim.errors import DeadlockError, RankFailure, SimError
+from repro.util.trace import TraceBuffer
+
+#: environment override for the worker-process count
+SHARDS_ENV = "REPRO_SIM_SHARDS"
+
+_INF = float("inf")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_DEBUG = bool(os.environ.get("REPRO_SHARD_DEBUG"))
+
+#: bytes payloads at or above this size travel as raw length-prefixed
+#: frames on the channel instead of through the pickle stream
+_BLOB_MIN = 256
+
+
+# ======================================================================
+# Function / payload marshalling
+# ======================================================================
+#
+# RPC payloads carry live callables (module functions, lambdas, closures).
+# Module-level functions pickle by reference; everything else is rebuilt
+# from its code object + closure values.  Globals are bound by *module
+# name* — valid because workers are forked from the fully-imported parent,
+# so ``sys.modules`` is identical on both sides.
+
+_CELL_EMPTY = "__repro_empty_cell__"
+
+
+def _rebuild_fn(code_bytes, module_name, name, defaults, kwdefaults, closure_vals):
+    mod = sys.modules.get(module_name)
+    globs = mod.__dict__ if mod is not None else {"__builtins__": __builtins__}
+    code = marshal.loads(code_bytes)
+    closure = None
+    if closure_vals is not None:
+        closure = tuple(
+            types.CellType() if v == _CELL_EMPTY else types.CellType(v) for v in closure_vals
+        )
+    fn = types.FunctionType(code, globs, name, defaults, closure)
+    fn.__kwdefaults__ = kwdefaults
+    return fn
+
+
+def _importable_by_ref(fn: types.FunctionType) -> bool:
+    mod = sys.modules.get(fn.__module__)
+    if mod is None:
+        return False
+    obj = mod
+    try:
+        for part in fn.__qualname__.split("."):
+            obj = getattr(obj, part)
+    except AttributeError:
+        return False
+    return obj is fn
+
+
+def _cell_value(cell):
+    try:
+        return cell.cell_contents
+    except ValueError:  # genuinely empty cell (recursive def not yet bound)
+        return _CELL_EMPTY
+
+
+class _ShardPickler(pickle.Pickler):
+    """Standard pickle plus by-value function support (cloudpickle-lite)."""
+
+    def reducer_override(self, obj):
+        if isinstance(obj, types.FunctionType) and not _importable_by_ref(obj):
+            closure = obj.__closure__
+            return (
+                _rebuild_fn,
+                (
+                    marshal.dumps(obj.__code__),
+                    obj.__module__ or "builtins",
+                    obj.__name__,
+                    obj.__defaults__,
+                    obj.__kwdefaults__,
+                    None if closure is None else tuple(_cell_value(c) for c in closure),
+                ),
+            )
+        return NotImplemented
+
+
+def _dumps(obj) -> bytes:
+    buf = io.BytesIO()
+    _ShardPickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
+_loads = pickle.loads
+
+
+class _BlobRef:
+    """Placeholder for a bytes payload extracted into a raw frame."""
+
+    __slots__ = ("i",)
+
+    def __init__(self, i: int):
+        self.i = i
+
+    def __reduce__(self):
+        return (_BlobRef, (self.i,))
+
+
+def _split_blobs(obj, blobs: list):
+    """Replace large bytes in ``obj`` with :class:`_BlobRef` markers.
+
+    The extracted blobs travel as length-prefixed raw frames — no pickle
+    memo or opcode overhead on the dominant payload bytes.
+    """
+    t = type(obj)
+    if t is bytes:
+        if len(obj) >= _BLOB_MIN:
+            blobs.append(obj)
+            return _BlobRef(len(blobs) - 1)
+        return obj
+    if t is bytearray:
+        if len(obj) >= _BLOB_MIN:
+            blobs.append(bytes(obj))
+            return _BlobRef(len(blobs) - 1)
+        return obj
+    if t is tuple:
+        return tuple(_split_blobs(x, blobs) for x in obj)
+    if t is list:
+        return [_split_blobs(x, blobs) for x in obj]
+    if t is dict:
+        return {k: _split_blobs(v, blobs) for k, v in obj.items()}
+    return obj
+
+
+def _join_blobs(obj, blobs):
+    t = type(obj)
+    if t is _BlobRef:
+        return blobs[obj.i]
+    if t is tuple:
+        return tuple(_join_blobs(x, blobs) for x in obj)
+    if t is list:
+        return [_join_blobs(x, blobs) for x in obj]
+    if t is dict:
+        return {k: _join_blobs(v, blobs) for k, v in obj.items()}
+    return obj
+
+
+# ======================================================================
+# Inter-shard channel
+# ======================================================================
+_K_ENV = 0  # phase A frame: (n_done, [(fire_time, stamp, kind, meta), ...])
+_K_HOR = 1  # phase B frame: local horizon (float, may be +inf)
+_K_FAIL = 2  # replaces a phase A frame when the sender is failing
+
+
+class _PeerDied(SimError):
+    """A peer worker vanished (EOF on its pipe)."""
+
+
+def _encode_frame(kind: int, payload, blobs: List[bytes]) -> bytes:
+    head = _dumps((kind, payload))
+    parts = [_U32.pack(len(head)), head, _U32.pack(len(blobs))]
+    for b in blobs:
+        parts.append(_U64.pack(len(b)))
+        parts.append(b)
+    return b"".join(parts)
+
+
+def _decode_frame(raw: bytes):
+    n = _U32.unpack_from(raw, 0)[0]
+    kind, payload = _loads(raw[4 : 4 + n])
+    pos = 4 + n
+    nblobs = _U32.unpack_from(raw, pos)[0]
+    pos += 4
+    blobs = []
+    for _ in range(nblobs):
+        ln = _U64.unpack_from(raw, pos)[0]
+        pos += 8
+        blobs.append(raw[pos : pos + ln])
+        pos += ln
+    return kind, payload, blobs
+
+
+class _Channel:
+    """Pairwise duplex pipes between shards with deadlock-free exchange.
+
+    Each exchange walks peers in ascending id; within a pair the lower id
+    sends first and the higher id receives first, so no send can block on
+    a full pipe while the counterpart is also blocked sending.
+    """
+
+    def __init__(self, shard_id: int, conns: Dict[int, object]):
+        self.shard_id = shard_id
+        self.conns = conns
+        self.peers = sorted(conns)
+
+    def _xchg(self, peer: int, frame: bytes) -> bytes:
+        conn = self.conns[peer]
+        try:
+            if self.shard_id < peer:
+                conn.send_bytes(frame)
+                return conn.recv_bytes()
+            raw = conn.recv_bytes()
+            conn.send_bytes(frame)
+            return raw
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise _PeerDied(f"shard {peer} terminated mid-protocol: {exc}") from None
+
+    def exchange_envelopes(self, per_peer_out: dict, n_done: int, failing: bool):
+        """Phase A: swap envelopes + done counts (or a FAIL notice).
+
+        Returns ``(incoming_envelopes, peers_done_total, fail_seen)``.
+        """
+        incoming: list = []
+        peer_done = 0
+        fail_seen = False
+        for peer in self.peers:
+            if failing:
+                frame = _encode_frame(_K_FAIL, None, [])
+            else:
+                blobs: List[bytes] = []
+                envs = [
+                    (ft, stamp, kind, _split_blobs(meta, blobs))
+                    for (ft, stamp, kind, meta) in per_peer_out.get(peer, ())
+                ]
+                frame = _encode_frame(_K_ENV, (n_done, envs), blobs)
+            kind, payload, rblobs = _decode_frame(self._xchg(peer, frame))
+            if kind == _K_FAIL:
+                fail_seen = True
+            elif kind == _K_ENV:
+                pdone, envs = payload
+                peer_done += pdone
+                for ft, stamp, ekind, meta in envs:
+                    incoming.append((ft, stamp, ekind, _join_blobs(meta, rblobs)))
+            else:
+                raise SimError(f"shard protocol error: expected ENV/FAIL, got {kind}")
+        return incoming, peer_done, fail_seen
+
+    def exchange_horizons(self, h: float) -> float:
+        """Phase B: swap post-insertion horizons; returns min peer horizon."""
+        frame = _encode_frame(_K_HOR, h, [])
+        m = _INF
+        for peer in self.peers:
+            kind, payload, _ = _decode_frame(self._xchg(peer, frame))
+            if kind != _K_HOR:
+                raise SimError(f"shard protocol error: expected HOR, got {kind}")
+            if payload < m:
+                m = payload
+        return m
+
+    def close(self) -> None:
+        for c in self.conns.values():
+            try:
+                c.close()
+            except OSError:
+                pass
+
+
+class _ShardDeadlock(SimError):
+    """Internal: global deadlock detected; carries this shard's blocked list."""
+
+    def __init__(self, lines: List[Tuple[int, str]]):
+        super().__init__("shard deadlock")
+        self.lines = lines
+
+
+class _RemoteAbort(SimError):
+    """Internal: another shard reported a failure; unwind quietly."""
+
+
+def _describe_failure(exc: BaseException):
+    return (type(exc).__name__, str(exc), getattr(exc, "rank", None))
+
+
+def _rebuild_failure(kind: str, message: str, rank) -> BaseException:
+    if kind == "RankFailure" and rank is not None:
+        exc = RankFailure(rank, "")
+        exc.args = (message,)
+        return exc
+    if kind == "DeadlockError":
+        return DeadlockError(message)
+    if kind == "SimError":
+        return SimError(message)
+    return SimError(f"{kind}: {message}")
+
+
+# ======================================================================
+# The sharded scheduler
+# ======================================================================
+class ShardedScheduler(CoroutineScheduler):
+    """Conservative-parallel scheduler: coroutine workers under a window loop.
+
+    The object doubles as the parent-side facade (``run()`` forks workers
+    and merges results) and, after fork, as the per-shard scheduler (the
+    inherited fiber/dispatch machinery gated by the window bound).
+    """
+
+    backend = "sharded"
+
+    def __init__(
+        self,
+        n_ranks: int,
+        trace: Optional[TraceBuffer] = None,
+        max_time: float = 1e6,
+        backend: Optional[str] = None,
+    ):
+        super().__init__(n_ranks, trace=trace, max_time=max_time)
+        # sharding plan (parent side; None until configure_sharding)
+        self._node_of: Optional[List[int]] = None
+        self._lookahead: Optional[float] = None
+        self._parts: List[Tuple[int, int]] = [(0, n_ranks)]
+        self._shard_of_rank: List[int] = [0] * n_ranks
+        self._n_shards_used = 0
+        self._per_shard_stats: List[dict] = []
+        self._conduits: list = []
+        # worker-side window state
+        self._shard_id: Optional[int] = None
+        self._local_lo = 0
+        self._local_hi = n_ranks
+        self._wbound = _INF
+        self._chan: Optional[_Channel] = None
+        self._outbox: dict = {}  # dst shard -> [envelope]
+        # built-in envelope kinds; conduits add theirs via bind_shard
+        self._env_handlers: dict = {
+            "wake": lambda meta, ft: CoroutineScheduler.wake(self, meta, ft),
+        }
+
+    # --------------------------------------------------------- configuration
+    def configure_sharding(self, machine, network) -> None:
+        """Install the node map and lookahead (called by upcxx.run_spmd)."""
+        node_of = [machine.node_of(r) for r in range(self.n_ranks)]
+        if any(node_of[i] > node_of[i + 1] for i in range(len(node_of) - 1)):
+            raise SimError("sharded backend requires block (node-contiguous) rank placement")
+        self._node_of = node_of
+        self._lookahead = float(network.latency_oneway)
+        if self._lookahead <= 0:
+            raise SimError("sharded backend needs a positive cross-node latency (lookahead)")
+
+    def register_conduit(self, conduit) -> None:
+        """Conduits register so workers can bind them to their shard."""
+        self._conduits.append(conduit)
+
+    def set_envelope_handlers(self, handlers: dict) -> None:
+        self._env_handlers.update(handlers)
+
+    # ------------------------------------------------------- shard-facing API
+    def shard_is_local(self, rank: int) -> bool:
+        return self._local_lo <= rank < self._local_hi
+
+    def wake(self, rid: int, at_time: float) -> None:
+        if self._shard_id is not None and not (self._local_lo <= rid < self._local_hi):
+            raise SimError(
+                f"cross-shard wake of rank {rid} from shard {self._shard_id}: a "
+                "raw wake cannot cross shards (no lookahead guarantee); route "
+                "it through conduit messaging or emit_envelope(..., 'wake', rid) "
+                "with fire_time >= now + lookahead"
+            )
+        CoroutineScheduler.wake(self, rid, at_time)
+
+    def emit_envelope(self, dst_rank: int, fire_time: float, kind: str, meta) -> None:
+        """Queue a cross-shard event for the shard owning ``dst_rank``.
+
+        The stamp is minted here, on the producing side, so the merged
+        event order matches what a single-process run would compute.
+        **Lookahead contract (caller's responsibility):** ``fire_time``
+        must be at least the current simulated time plus the configured
+        lookahead — the conduit satisfies this because every cross-node
+        message rides at least one ``latency_oneway``.
+        """
+        if fire_time != fire_time or fire_time < 0 or fire_time == _INF:
+            raise ValueError(f"invalid envelope time: {fire_time!r}")
+        stamp = self._make_stamp()
+        shard = self._shard_of_rank[dst_rank]
+        self._outbox.setdefault(shard, []).append((fire_time, stamp, kind, meta))
+
+    # --------------------------------------------------- windowed scheduling
+    def _retarget(self) -> None:
+        h = self.max_time
+        eheap = self._eheap
+        if eheap:
+            et = eheap[0][0]
+            if et < h:
+                h = et
+        top = self._peek_ready()
+        if top is not None and top[0] < h:
+            h = top[0]
+        wb = self._wbound
+        if wb < h:
+            h = wb
+        self._horizon = h
+
+    def _checkpoint_slow(self, me) -> None:
+        # Same globally-minimal delivery rule as the base, with two window
+        # additions: events at or past the bound stay in the heap, and a
+        # rank whose clock reached the bound parks on the ready heap until
+        # the next window raises the bound past it.
+        clock = me.clock
+        wbound = self._wbound
+        eheap = self._eheap
+        n_fired = 0
+        version = self._ready_version
+        top = self._peek_ready()
+        gate = top[0] if top is not None else None
+        try:
+            while eheap:
+                entry = eheap[0]
+                et = entry[0]
+                if et > clock or et >= wbound:
+                    break
+                if gate is not None and et > gate:
+                    break  # an earlier rank must run first
+                entry = heapq.heappop(eheap)
+                n_fired += 1
+                self._firing_lane = entry[1]
+                self._fire_child = 0
+                entry[2]()
+                self._firing_lane = None
+                if self._ready_version != version:
+                    version = self._ready_version
+                    top = self._peek_ready()
+                    gate = top[0] if top is not None else None
+        finally:
+            self._firing_lane = None
+            if n_fired:
+                self._events.account_fired(n_fired)
+        top = self._peek_ready()
+        if (top is not None and top[0] < clock) or clock >= wbound:
+            # Someone is earlier, or I ran into the window edge: yield.
+            if _DEBUG and clock >= wbound:
+                print(
+                    f"[shard {self._shard_id}] park r{me.rid} clock={clock*1e9:.3f} "
+                    f"wbound={wbound*1e9:.3f}",
+                    file=sys.stderr, flush=True,
+                )
+            me.state = _READY
+            self._push_ready(me)
+            self._switch_out(me)
+            if _DEBUG:
+                print(
+                    f"[shard {self._shard_id}] unpark r{me.rid} clock={me.clock*1e9:.3f} "
+                    f"wbound={self._wbound*1e9:.3f} eheap_top="
+                    f"{(self._eheap[0][0]*1e9 if self._eheap else -1):.3f}",
+                    file=sys.stderr, flush=True,
+                )
+        else:
+            self._retarget()
+
+    def _dispatch(self) -> None:
+        """Window-gated dispatch: exhausting the window releases the main
+        loop (which then runs the envelope/horizon exchange) instead of
+        declaring completion or deadlock — those are global decisions."""
+        eheap = self._eheap
+        n_fired = 0
+        while True:
+            if self._failure is not None:
+                if n_fired:
+                    self._events.account_fired(n_fired)
+                self._abort_all()
+                return
+            wbound = self._wbound
+            top = self._peek_ready()
+            rclock = top[0] if top is not None and top[0] < wbound else None
+            et = eheap[0][0] if eheap and eheap[0][0] < wbound else None
+            if rclock is not None and (et is None or rclock < et):
+                heapq.heappop(self._ready)
+                ctl = top[1]
+                ctl.state = _RUNNING
+                self.switches += 1
+                self._current = ctl
+                self._retarget()
+                if n_fired:
+                    self._events.account_fired(n_fired)
+                if ctl.thread is None:
+                    self._start_fiber(ctl)
+                else:
+                    ctl.baton.release()
+                return
+            if et is not None:
+                # Event is due first (ties go to events, as in the base).
+                entry = heapq.heappop(eheap)
+                n_fired += 1
+                self._firing_lane = entry[1]
+                self._fire_child = 0
+                entry[2]()
+                self._firing_lane = None
+                continue
+            # Window exhausted: back to the window loop.
+            if n_fired:
+                self._events.account_fired(n_fired)
+            self._current = None
+            self._release_main()
+            return
+
+    # ------------------------------------------------------------ worker side
+    def _local_horizon(self) -> float:
+        h = _INF
+        if self._eheap:
+            h = self._eheap[0][0]
+        top = self._peek_ready()
+        if top is not None and top[0] < h:
+            h = top[0]
+        return h
+
+    def _insert_envelope(self, env) -> None:
+        ft, stamp, kind, meta = env
+        fn = self._env_handlers.get(kind)
+        if fn is None:
+            raise SimError(f"no handler for cross-shard envelope kind {kind!r}")
+        self._events.push_keyed(ft, stamp, lambda: fn(meta, ft))
+
+    def _worker_main(self) -> List[Tuple[int, str]]:
+        """The conservative window loop; returns on success, raises on
+        failure or deadlock."""
+        lo, hi = self._local_lo, self._local_hi
+        chan = self._chan
+        lookahead = self._lookahead if self._lookahead is not None else 0.0
+        n_total = self.n_ranks
+        # All peers start at horizon 0, so the first bound is the lookahead.
+        self._wbound = lookahead if chan.peers else _INF
+        for rid in range(lo, hi):
+            ctl = self._ranks[rid]
+            ctl.state = _READY
+            self._push_ready(ctl)
+        while True:
+            self._dispatch()
+            self._main_baton.acquire()
+            self._main_release_guard.release()  # re-arm for the next window
+            failing = self._failure is not None
+            outbox = self._outbox
+            self._outbox = {}
+            incoming, peer_done, fail_seen = chan.exchange_envelopes(
+                outbox, self._n_done, failing
+            )
+            if failing:
+                raise self._failure
+            if fail_seen:
+                self._fail(_RemoteAbort("another shard reported a failure"))
+                raise self._failure
+            # Insert before announcing the horizon: a peer's bound derived
+            # from our announcement must account for what we just sent it.
+            for env in sorted(incoming, key=lambda e: (e[0], e[1])):
+                if _DEBUG:
+                    late = " LATE" if env[0] < self._wbound else ""
+                    print(
+                        f"[shard {self._shard_id}] env ft={env[0]*1e9:.3f} "
+                        f"kind={env[2]} closed_wbound={self._wbound*1e9:.3f}{late}",
+                        file=sys.stderr, flush=True,
+                    )
+                self._insert_envelope(env)
+            h = self._local_horizon()
+            peer_min = chan.exchange_horizons(h)
+            if h == _INF and peer_min == _INF:
+                if self._n_done + peer_done == n_total:
+                    return []
+                raise _ShardDeadlock(
+                    [
+                        (c.rid, f"  rank {c.rid} (clock {c.clock:.9f}s): "
+                                f"{c.block_reason or '<no reason>'}")
+                        for c in self._ranks[lo:hi]
+                        if c.state == _BLOCKED
+                    ]
+                )
+            # A peer whose announced horizon is infinite is only *currently*
+            # idle: our own future envelopes can reactivate it, and its
+            # response lands no earlier than our local horizon plus two
+            # hops of lookahead (our send + its reply).  Direct or relayed
+            # peer activity adds at least one hop.  min() of the two keeps
+            # the bound finite whenever anyone — including us — still has
+            # work, so no rank ever observes state beyond what every
+            # in-flight chain of messages could reach.
+            self._wbound = min(peer_min + lookahead, h + 2.0 * lookahead)
+
+    def _worker_stats(self) -> dict:
+        ev = self._events.stats
+        return {
+            "shard": self._shard_id,
+            "ranks": [self._local_lo, self._local_hi],
+            "switches": self.switches,
+            "events_posted": ev["posted"],
+            "events_fired": ev["fired"],
+        }
+
+    def _collect_metrics(self) -> dict:
+        out: dict = {}
+        for c in self._conduits:
+            m = getattr(c, "metrics", None)
+            if m is not None:
+                for r in range(self._local_lo, self._local_hi):
+                    rm = m._ranks.get(r)
+                    if rm is not None:
+                        out[r] = rm
+        return out
+
+    def _worker_entry(self, shard_id: int, parent_conn, own_conns, all_conns) -> None:
+        payload = None
+        try:
+            # Drop every inherited pipe end that is not ours, so a dead
+            # peer is observed as EOF instead of a silent hang.
+            keep = set(id(c) for c in own_conns.values())
+            keep.add(id(parent_conn))
+            for c in all_conns:
+                if id(c) not in keep:
+                    try:
+                        c.close()
+                    except OSError:
+                        pass
+            self._shard_id = shard_id
+            self._local_lo, self._local_hi = self._parts[shard_id]
+            self._chan = _Channel(shard_id, own_conns)
+            for c in self._conduits:
+                c.bind_shard(self)
+            old_stack = threading.stack_size()
+            try:
+                threading.stack_size(_STACK_BYTES)
+            except (ValueError, RuntimeError):
+                pass
+            try:
+                self._worker_main()
+            finally:
+                try:
+                    threading.stack_size(old_stack)
+                except (ValueError, RuntimeError):
+                    pass
+            for rid in range(self._local_lo, self._local_hi):
+                ctl = self._ranks[rid]
+                if ctl.thread is not None:
+                    ctl.thread.join(timeout=30.0)
+            payload = (
+                "ok",
+                {
+                    "results": {
+                        rid: self._ranks[rid].result
+                        for rid in range(self._local_lo, self._local_hi)
+                    },
+                    "trace": list(self.trace._events) if self.trace.enabled else [],
+                    "stats": self._worker_stats(),
+                    "metrics": self._collect_metrics(),
+                },
+            )
+        except _ShardDeadlock as exc:
+            payload = ("deadlock", exc.lines)
+        except _RemoteAbort:
+            payload = ("peer-abort", None)
+        except BaseException as exc:  # noqa: BLE001 - ship any failure home
+            payload = ("fail", _describe_failure(exc))
+        try:
+            try:
+                parent_conn.send_bytes(_dumps(payload))
+            except Exception as exc:  # unpicklable result objects etc.
+                parent_conn.send_bytes(
+                    _dumps(("fail", ("SimError", f"shard {shard_id} could not ship its "
+                                                 f"results: {exc}", None)))
+                )
+        finally:
+            parent_conn.close()
+            if self._chan is not None:
+                self._chan.close()
+
+    # ------------------------------------------------------------ parent side
+    def _plan_shards(self) -> int:
+        env = os.environ.get(SHARDS_ENV, "").strip()
+        if env:
+            requested = int(env)
+            if requested < 1:
+                raise ValueError(f"{SHARDS_ENV} must be >= 1, got {requested}")
+        else:
+            requested = os.cpu_count() or 1
+        node_of = self._node_of
+        if node_of is None:
+            # No machine topology: no lookahead, so everything is one shard.
+            node_of = [0] * self.n_ranks
+        n_nodes = node_of[-1] + 1 if node_of else 1
+        n_shards = max(1, min(requested, n_nodes))
+        # Even contiguous node chunks; block rank placement makes the
+        # resulting per-shard rank ranges contiguous too.
+        shard_of_node = [(n * n_shards) // n_nodes for n in range(n_nodes)]
+        self._shard_of_rank = [shard_of_node[node_of[r]] for r in range(self.n_ranks)]
+        parts: List[Tuple[int, int]] = []
+        start = 0
+        for s in range(n_shards):
+            end = start
+            while end < self.n_ranks and self._shard_of_rank[end] == s:
+                end += 1
+            parts.append((start, end))
+            start = end
+        if start != self.n_ranks:
+            raise SimError("internal error: shard partition does not cover all ranks")
+        self._parts = parts
+        self._n_shards_used = n_shards
+        return n_shards
+
+    def run(self, fn: Callable[[int], object]) -> List[object]:
+        if self._running:
+            raise SimError("Scheduler.run() is not reentrant")
+        self._running = True
+        self._fn = fn
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:
+            raise SimError("backend='sharded' requires fork-capable multiprocessing") from exc
+        n_shards = self._plan_shards()
+        pair_conns: List[Dict[int, object]] = [{} for _ in range(n_shards)]
+        all_conns: list = []
+        for i in range(n_shards):
+            for j in range(i + 1, n_shards):
+                a, b = ctx.Pipe(True)
+                pair_conns[i][j] = a
+                pair_conns[j][i] = b
+                all_conns.extend((a, b))
+        parent_conns = []
+        procs = []
+        payloads: List[tuple] = []
+        try:
+            child_ws = []
+            for s in range(n_shards):
+                pr, pw = ctx.Pipe(False)
+                parent_conns.append(pr)
+                child_ws.append(pw)
+                all_conns.append(pw)
+            for s in range(n_shards):
+                p = ctx.Process(
+                    target=self._worker_entry,
+                    args=(s, child_ws[s], pair_conns[s], all_conns),
+                    name=f"simshard-{s}",
+                    daemon=True,
+                )
+                p.start()
+                procs.append(p)
+            for c in all_conns:
+                c.close()
+            for s, pr in enumerate(parent_conns):
+                try:
+                    payloads.append(_loads(pr.recv_bytes()))
+                except (EOFError, OSError):
+                    payloads.append(("fail", ("SimError", f"shard {s} terminated "
+                                                          "without reporting", None)))
+            for p in procs:
+                p.join(timeout=30.0)
+        finally:
+            for pr in parent_conns:
+                try:
+                    pr.close()
+                except OSError:
+                    pass
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+        return self._merge(payloads)
+
+    def _merge(self, payloads: List[tuple]) -> List[object]:
+        failures = [
+            (s, pl[1]) for s, pl in enumerate(payloads) if pl[0] == "fail"
+        ]
+        if failures:
+            kind, message, rank = failures[0][1]
+            self._failure = _rebuild_failure(kind, message, rank)
+            raise self._failure
+        deadlock_lines = [ln for pl in payloads if pl[0] == "deadlock" for ln in pl[1]]
+        if deadlock_lines:
+            deadlock_lines.sort()
+            self._failure = DeadlockError(
+                "simulation deadlock: no runnable ranks and no pending events.\n"
+                + "\n".join(line for _, line in deadlock_lines)
+            )
+            raise self._failure
+        if any(pl[0] != "ok" for pl in payloads):
+            self._failure = SimError(f"shard protocol error: {[p[0] for p in payloads]}")
+            raise self._failure
+        results: List[object] = [None] * self.n_ranks
+        per_shard = []
+        posted = fired = 0
+        metrics_merged: dict = {}
+        trace_lists = []
+        for pl in payloads:
+            body = pl[1]
+            for rid, res in body["results"].items():
+                results[rid] = res
+            st = body["stats"]
+            per_shard.append(st)
+            self.switches += st["switches"]
+            posted += st["events_posted"]
+            fired += st["events_fired"]
+            metrics_merged.update(body["metrics"])
+            trace_lists.append(body["trace"])
+        # fold the merged counters into the (otherwise unused) parent queue
+        self._events._count_posted += posted
+        self._events._count_fired += fired
+        self._per_shard_stats = per_shard
+        if self.trace.enabled:
+            self.trace.extend_canonical(trace_lists)
+        if metrics_merged:
+            for c in self._conduits:
+                m = getattr(c, "metrics", None)
+                if m is not None:
+                    m._ranks.update(metrics_merged)
+                    break
+        return results
+
+    def stats(self) -> dict:
+        d = Scheduler.stats(self)
+        d["n_shards"] = self._n_shards_used
+        d["per_shard"] = self._per_shard_stats
+        return d
+
+
+_BACKENDS["sharded"] = ShardedScheduler

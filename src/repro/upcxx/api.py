@@ -56,16 +56,22 @@ def run_spmd(
     :func:`repro.util.export_chrome_trace`.  Both default to off and cost
     nothing when absent.
 
-    ``backend`` selects the scheduler implementation ("coroutines" or
-    "threads"; default: ``$REPRO_SIM_BACKEND`` or coroutines).  Pass a
-    dict as ``sched_stats`` to receive the scheduler's run counters
-    (switches, events fired — see :meth:`Scheduler.stats`) after the run.
+    ``backend`` selects the scheduler implementation ("coroutines",
+    "threads", or "sharded"; default: ``$REPRO_SIM_BACKEND`` or
+    coroutines).  Pass a dict as ``sched_stats`` to receive the
+    scheduler's run counters (switches, events fired — see
+    :meth:`Scheduler.stats`) after the run.
     """
     ppn = ppn if ppn is not None else default_ppn(platform)
     machine = Machine.for_ranks(ranks, ppn, name=platform)
     network = network if network is not None else AriesNetwork()
     cpu = cpu if cpu is not None else platform_cpu(platform)
     sched = Scheduler(ranks, trace=trace, max_time=max_time, backend=backend)
+    # the sharded backend partitions ranks by simulated node and derives
+    # its conservative lookahead from the cross-node wire latency
+    cfg = getattr(sched, "configure_sharding", None)
+    if cfg is not None:
+        cfg(machine, network)
     world = World(sched, machine, network, cpu, costs, segment_size, seed, metrics=metrics)
 
     def bootstrap(rank: int):

@@ -71,26 +71,16 @@ def rput(
         rt.actQ[opid] = ("rput", nbytes, dest.rank)
         t_active = rt.now()
 
-        on_remote_commit = None
+        # remote_cx work crosses the wire as (fn, args, t_active) data — the
+        # conduit hands it to the target's runtime via the World's deliverer
+        # (a closure here could not cross a shard boundary)
+        rrpc = None
         if remote_rpc is not None:
             fn, args = remote_rpc
-            target_rt_holder = rt.world.runtimes
-            dst_rank = dest.rank
-
-            def on_remote_commit(arrival: float):  # network context at target
-                target_rt = target_rt_holder[dst_rank]
-                item = CompQItem.acquire(
-                    target_rt._c_rpc_dispatch,
-                    lambda: fn(*args),
-                    "remote_cx_rpc",
-                    nbytes=nbytes,
-                    t_active=t_active,
-                )
-                target_rt.gasnet_completed(item, arrival)
-                rt.sched.wake(dst_rank, arrival)
+            rrpc = (fn, args, t_active)
 
         handle = rt.conduit.put_nb(
-            rt.rank, dest.rank, dest.offset, data, path, on_remote_commit=on_remote_commit
+            rt.rank, dest.rank, dest.offset, data, path, remote_rpc=rrpc
         )
 
         def on_done(h):  # network context at initiator

@@ -129,10 +129,32 @@ class World:
         #: optional repro.util.metrics.Metrics collecting op-lifecycle data
         self.metrics = metrics if metrics is not None and metrics.enabled else None
         self.conduit = Conduit(sched, machine, network, segment_size, metrics=self.metrics)
+        self.conduit._remote_cx_deliver = self._deliver_remote_cx
         self.n_ranks = sched.n_ranks
         self.runtimes: List[Optional["Runtime"]] = [None] * self.n_ranks
         #: next team uid (uids are assigned collectively & deterministically)
         self.team_uid_seq = 1  # 0 is reserved for world
+
+    def _deliver_remote_cx(
+        self, dst_rank: int, fn, args, nbytes: int, t_active: float, arrival: float
+    ) -> None:
+        """Hand a remote_cx::as_rpc to ``dst_rank``'s runtime (network
+        context, at the process that owns ``dst_rank``).
+
+        Called by the conduit when a put's bytes land; the RPC is staged on
+        the target's compQ and the target woken, exactly as if the target
+        had received it locally.
+        """
+        target_rt = self.runtimes[dst_rank]
+        item = CompQItem.acquire(
+            target_rt._c_rpc_dispatch,
+            lambda: fn(*args),
+            "remote_cx_rpc",
+            nbytes=nbytes,
+            t_active=t_active,
+        )
+        target_rt.gasnet_completed(item, arrival)
+        self.sched.wake(dst_rank, arrival)
 
 
 class Runtime:

@@ -321,6 +321,15 @@ def serializable_fields(*fields):
 
 def pack(obj: Any) -> bytes:
     """Serialize ``obj`` into wire bytes."""
+    # Fast path: a top-level bytes/bytearray payload (the dominant AM/RPC
+    # shape in the DHT workloads, and the dominant cross-shard envelope
+    # body) skips the dispatch chain and list assembly.  The emitted frame
+    # is byte-identical to the general path: tag + u32 length + raw.
+    t = type(obj)
+    if t is bytes:
+        return _B_BYTES + _U32.pack(len(obj)) + obj
+    if t is bytearray:
+        return _B_BYTES + _U32.pack(len(obj)) + bytes(obj)
     out: List[bytes] = []
     _pack_into(out, obj)
     return b"".join(out)
@@ -328,6 +337,10 @@ def pack(obj: Any) -> bytes:
 
 def unpack(buf: bytes) -> Any:
     """Deserialize one object from ``buf``."""
+    # Fast path mirroring pack(): a whole-buffer bytes frame needs no
+    # reader state — one tag check, one length check, one slice.
+    if buf and buf[0] == _T_BYTES and len(buf) >= 5 and 5 + _U32.unpack_from(buf, 1)[0] == len(buf):
+        return buf[5:]  # same slice the general path's take() would produce
     r = _Reader(buf)
     obj = _unpack_from(r)
     if r.pos != len(buf):

@@ -1,21 +1,36 @@
-"""Cross-backend determinism: coroutines vs threads must be bit-identical.
+"""Cross-backend determinism: all scheduler backends must be bit-identical.
 
 The coroutine scheduler (PR 2) replaces the thread/condvar scheduler on
-the hot path but must preserve the simulation *exactly*: same simulated
-times, same results, same trace — down to the last bit.  These tests run
-identical workloads on both backends and compare:
+the hot path, and the sharded scheduler (PR 3) distributes the coroutine
+machinery across forked worker processes — but every backend must
+preserve the simulation *exactly*: same simulated times, same results,
+same trace — down to the last bit.  These tests run identical workloads
+on the backends and compare:
 
 - Fig. 3a blocking-put latency series (float series equality),
 - DHT insert totals (elapsed simulated time per rank),
-- ``TraceBuffer.fingerprint()`` digests (order-sensitive hash of every
-  scheduler block/resume record),
-- scheduler counters (switches, events fired — the execution schedule
-  itself, not just its outcome).
+- ``TraceBuffer.fingerprint()`` digests for coroutines vs threads, and
+  ``canonical_fingerprint()`` (stable (time, rank) order — invariant to
+  the backend's legitimate same-instant interleaving freedom) for the
+  three-way comparison,
+- scheduler counters: events posted/fired match on every backend (each
+  logical event exists exactly once, on exactly one shard); ``switches``
+  match between coroutines and threads but not for sharded (each worker
+  dispatches only its own ranks, so the yield pattern differs).
+
+Sharded-specific rules exercised here: SPMD bodies must *return* results
+(worker-process side effects don't reach the parent), and raw
+cross-shard wakes are an error rather than a silent no-op.
 
 Also here: the lost-wakeup regression test for sticky ``pending_wake``
-consumption, on both backends (wakes arriving while a rank is runnable
-must be drained in timestamp order, never dropped).
+consumption on all backends (wakes arriving while a rank is runnable
+must be drained in timestamp order, never dropped), and the sharded
+lookahead-boundary regression (an event landing *exactly* on a window
+edge must wait for the next horizon round, at an unchanged timestamp).
 """
+
+import os
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -25,11 +40,36 @@ from repro.sim.coop import Scheduler, current_scheduler, run_spmd
 from repro.util.trace import TraceBuffer
 
 BACKENDS = ("coroutines", "threads")
+ALL_BACKENDS = ("coroutines", "threads", "sharded")
+
+
+@contextmanager
+def _shards(n: int):
+    """Force the sharded backend to use ``n`` worker processes."""
+    from repro.sim.shard import SHARDS_ENV
+
+    old = os.environ.get(SHARDS_ENV)
+    os.environ[SHARDS_ENV] = str(n)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = old
 
 
 def _both_backends(fn):
     """Run ``fn(backend)`` for both backends, return {backend: result}."""
     return {b: fn(b) for b in BACKENDS}
+
+
+def _all_backends(fn, n_shards: int = 2):
+    """Run ``fn(backend)`` on all three backends, sharded with ``n_shards``."""
+    out = {b: fn(b) for b in BACKENDS}
+    with _shards(n_shards):
+        out["sharded"] = fn("sharded")
+    return out
 
 
 # ----------------------------------------------------------- Fig. 3a series
@@ -198,10 +238,256 @@ def test_backend_factory_and_env(monkeypatch):
 
     assert Scheduler(2, backend="threads").backend == "threads"
     assert Scheduler(2, backend="coroutines").backend == "coroutines"
+    assert Scheduler(2, backend="sharded").backend == "sharded"
     assert isinstance(Scheduler(2, backend="threads"), Scheduler)
+    assert isinstance(Scheduler(2, backend="sharded"), Scheduler)
     monkeypatch.setenv(coop.BACKEND_ENV, "threads")
     assert Scheduler(2).backend == "threads"
     monkeypatch.delenv(coop.BACKEND_ENV)
     assert Scheduler(2).backend == coop.DEFAULT_BACKEND
     with pytest.raises(ValueError):
         Scheduler(2, backend="fibers-from-the-future")
+
+
+# ================================================== three-way sharded matrix
+def _fig3a_series_returning(backend):
+    """Fig. 3a series where the measuring rank *returns* its results —
+    the sharded-compatible idiom (worker side effects stay in the worker,
+    as in real process-per-rank UPC++)."""
+    sizes = [8, 64, 512, 4096, 65536]
+
+    def body():
+        me = upcxx.rank_me()
+        landing = upcxx.new_array(np.uint8, max(sizes))
+        dest = upcxx.broadcast(landing, root=1).wait()
+        upcxx.barrier()
+        out = {}
+        if me == 0:
+            for size in sizes:
+                payload = bytes(size)
+                t0 = upcxx.sim_now()
+                for _ in range(4):
+                    upcxx.rput(payload, dest).wait()
+                out[size] = upcxx.sim_now() - t0
+        upcxx.barrier()
+        return (out, upcxx.sim_now())
+
+    stats: dict = {}
+    results = upcxx.run_spmd(
+        body, 2, platform="haswell", ppn=1, backend=backend, sched_stats=stats
+    )
+    return results, stats
+
+
+def test_fig3a_series_three_way_bit_identical():
+    got = _all_backends(_fig3a_series_returning, n_shards=2)
+    res_c, stats_c = got["coroutines"]
+    res_t, stats_t = got["threads"]
+    res_s, stats_s = got["sharded"]
+    assert res_c == res_t == res_s  # float == float: bit-identical or bust
+    assert stats_c["events_fired"] == stats_t["events_fired"] == stats_s["events_fired"]
+    assert stats_c["events_posted"] == stats_t["events_posted"] == stats_s["events_posted"]
+    # switches are an intra-process dispatch property: identical between the
+    # single-process backends, legitimately different under sharding
+    assert stats_c["switches"] == stats_t["switches"]
+    assert stats_s["n_shards"] == 2
+
+
+def _dht_totals_multishard(backend):
+    """DHT inserts across 4 nodes (ppn=4): real cross-shard AM + RMA mix."""
+    from repro.apps.dht import DhtRmaLz
+
+    def body():
+        dht = DhtRmaLz()
+        rng = upcxx.runtime_here().rng.spawn("dht-bench")
+        payload = bytes(1024)
+        upcxx.barrier()
+        t0 = upcxx.sim_now()
+        for _ in range(6):
+            dht.insert(rng.key64(), payload).wait()
+        upcxx.barrier()
+        return upcxx.sim_now() - t0
+
+    stats: dict = {}
+    totals = upcxx.run_spmd(
+        body, 16, platform="haswell", ppn=4, backend=backend, sched_stats=stats
+    )
+    return totals, stats
+
+
+def test_dht_totals_three_way_bit_identical():
+    got = _all_backends(_dht_totals_multishard, n_shards=4)
+    tot_c, stats_c = got["coroutines"]
+    tot_t, _ = got["threads"]
+    tot_s, stats_s = got["sharded"]
+    assert tot_c == tot_t == tot_s
+    assert stats_c["events_fired"] == stats_s["events_fired"]
+    assert stats_s["n_shards"] == 4
+    # per-shard accounting must decompose the global totals exactly
+    per_shard = stats_s["per_shard"]
+    assert len(per_shard) == 4
+    assert sum(s["events_fired"] for s in per_shard) == stats_s["events_fired"]
+    assert sum(s["switches"] for s in per_shard) == stats_s["switches"]
+
+
+def _traced_run_canonical(backend):
+    trace = TraceBuffer()
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        fut = upcxx.rpc((me + 1) % n, lambda: upcxx.rank_me())
+        assert fut.wait() == (me + 1) % n
+        upcxx.barrier()
+        return upcxx.sim_now()
+
+    results = upcxx.run_spmd(body, 8, platform="haswell", ppn=2, backend=backend, trace=trace)
+    return results, trace
+
+
+def test_trace_canonical_digests_three_way():
+    got = _all_backends(_traced_run_canonical, n_shards=2)
+    res = {b: r for b, (r, _) in got.items()}
+    assert res["coroutines"] == res["threads"] == res["sharded"]
+    traces = {b: t for b, (_, t) in got.items()}
+    assert len(traces["coroutines"]) > 0
+    assert len(traces["coroutines"]) == len(traces["threads"]) == len(traces["sharded"])
+    fp_c = traces["coroutines"].canonical_fingerprint()
+    assert fp_c == traces["threads"].canonical_fingerprint()
+    assert fp_c == traces["sharded"].canonical_fingerprint()
+
+
+@pytest.mark.parametrize("backend", ["sharded"])
+def test_pending_wakes_drain_in_timestamp_order_sharded(backend):
+    """Lost-wakeup guard under the sharded backend (single shard: the raw
+    scheduler has no machine topology, so the job degenerates to one
+    worker — the windowed dispatch/park machinery still runs)."""
+
+    def body(r):
+        s = current_scheduler()
+        if r == 0:
+            s.post(5e-6, lambda: s.wake(1, 30e-6))
+            s.post(6e-6, lambda: s.wake(1, 10e-6))
+            s.sleep(50e-6)
+            return None
+        s.charge(8e-6)  # stay RUNNING past both wake deliveries
+        resumes = []
+        s.block("first wait")
+        resumes.append(s.now())
+        s.block("second wait")
+        resumes.append(s.now())
+        return resumes
+
+    out = run_spmd(body, 2, backend=backend)
+    assert out[1] == [10e-6, 30e-6]
+
+
+def test_sharded_window_edge_event_bit_identical():
+    """An event landing *exactly* on a window bound (t == k * lookahead)
+    must not fire in that window (strict ``<`` gating) and must fire at an
+    unchanged timestamp once the bound advances — the classic conservative
+    -DES off-by-one.  Both ranks' final clocks must match the coroutine
+    backend exactly."""
+    from repro.gasnet.machine import Machine
+    from repro.gasnet.network import AriesNetwork
+
+    net = AriesNetwork()
+    lookahead = net.latency_oneway
+
+    def body_sharded(r):
+        s = current_scheduler()
+        if r == 0:
+            for k in (1, 2, 3):
+                # cross-shard wake envelopes firing exactly at k * lookahead
+                s.emit_envelope(1, k * lookahead, "wake", 1)
+            s.sleep(10 * lookahead)
+        else:
+            for _ in range(3):
+                s.block("edge wait")
+        return s.now()
+
+    def body_coro(r):
+        s = current_scheduler()
+        if r == 0:
+            for k in (1, 2, 3):
+                s.post_at(k * lookahead, lambda k=k: s.wake(1, k * lookahead))
+            s.sleep(10 * lookahead)
+        else:
+            for _ in range(3):
+                s.block("edge wait")
+        return s.now()
+
+    ref = Scheduler(2, backend="coroutines").run(body_coro)
+    with _shards(2):
+        sched = Scheduler(2, backend="sharded")
+        sched.configure_sharding(Machine.for_ranks(2, 1, name="haswell"), net)
+        out = sched.run(body_sharded)
+        assert sched.stats()["n_shards"] == 2
+    assert out == ref
+    assert out[1] == 3 * lookahead  # resumed by the last edge wake, exactly
+
+
+def test_sharded_cross_shard_raw_wake_raises():
+    """A raw scheduler wake aimed at a rank on another shard must fail
+    loudly (it cannot honor the lookahead contract), not silently no-op."""
+    from repro.gasnet.machine import Machine
+    from repro.gasnet.network import AriesNetwork
+    from repro.sim.errors import RankFailure, SimError
+
+    def body(r):
+        s = current_scheduler()
+        if r == 0:
+            s.charge(1e-6)
+            s.wake(1, 5e-6)  # rank 1 lives on the other shard
+            s.sleep(1e-5)
+        else:
+            s.block("waiting")
+        return r
+
+    with _shards(2):
+        sched = Scheduler(2, backend="sharded")
+        sched.configure_sharding(Machine.for_ranks(2, 1, name="haswell"), AriesNetwork())
+        with pytest.raises((SimError, RankFailure), match="cross-shard wake"):
+            sched.run(body)
+
+
+# ------------------------------------------- idle-peer reactivation motif
+def _mixed_collectives_run(backend):
+    """The quickstart motif: a mix of collectives, chained RMA, lambda RPC
+    and promise-tracked puts across a 2-node machine.  This pattern makes a
+    shard's entire peer go momentarily idle (all ranks blocked, no events)
+    while the other shard is still injecting traffic that will reactivate
+    it — the exact shape where an unsound infinite window bound lets ranks
+    poll past in-flight cross-shard replies and diverge from the
+    single-process backends by a few progress charges."""
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        right = (me + 1) % n
+        cell = upcxx.new_array(np.float64, 4)
+        cell.local()[:] = me
+        cells = [upcxx.broadcast(cell, root=r).wait() for r in range(n)]
+        upcxx.barrier()
+        upcxx.rput(np.full(4, 100.0 + me), cells[right]).then(lambda: None).wait()
+        upcxx.barrier()
+        upcxx.rget(cell).wait()
+        answer = upcxx.rpc(right, lambda a, b: a * b, 6, 7).wait()
+        assert answer == 42
+        everyone = upcxx.when_all(*[upcxx.rpc(r, upcxx.rank_me) for r in range(n)]).wait()
+        assert list(everyone) == list(range(n))
+        p = upcxx.Promise()
+        for i in range(8):
+            upcxx.rput(float(i), cells[right][i % 4], cx=upcxx.operation_cx.as_promise(p))
+        p.finalize().wait()
+        total = upcxx.reduce_all(me, "+").wait()
+        upcxx.barrier()
+        return (total, upcxx.sim_now())
+
+    return upcxx.run_spmd(body, 4, platform="haswell", ppn=2, backend=backend)
+
+
+def test_idle_peer_reactivation_three_way_bit_identical():
+    got = _all_backends(_mixed_collectives_run)
+    assert got["coroutines"] == got["threads"]
+    assert got["coroutines"] == got["sharded"]

@@ -1,0 +1,349 @@
+"""Unit tests for the sharded backend's building blocks.
+
+The end-to-end three-way determinism matrix lives in
+``test_backend_determinism.py``; this module pins the pieces the window
+protocol is built from — the cloudpickle-lite function marshaller, the
+raw-blob frame codec, shard planning, cross-shard failure transport, the
+canonical trace order, and the sharded-specific error surfaces.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.upcxx as upcxx
+from repro.sim import shard as shard_mod
+from repro.sim.coop import Scheduler
+from repro.sim.errors import RankFailure, SimError
+from repro.sim.shard import (
+    SHARDS_ENV,
+    _BLOB_MIN,
+    _decode_frame,
+    _describe_failure,
+    _dumps,
+    _encode_frame,
+    _join_blobs,
+    _loads,
+    _rebuild_failure,
+    _split_blobs,
+    ShardedScheduler,
+)
+from repro.util.trace import TraceBuffer
+
+
+# ------------------------------------------------------- function marshalling
+def _module_level_fn(x):
+    return x + 1
+
+
+def test_marshal_module_function_by_reference():
+    fn = _loads(_dumps(_module_level_fn))
+    assert fn is _module_level_fn  # same module in-process: by-ref pickle
+
+
+def test_marshal_lambda_by_value():
+    fn = _loads(_dumps(lambda x: x * 3))
+    assert fn(14) == 42
+
+
+def test_marshal_closure_cells():
+    base = 100
+
+    def add(x):
+        return base + x
+
+    fn = _loads(_dumps(add))
+    assert fn(7) == 107
+
+
+def test_marshal_defaults_and_kwdefaults():
+    def f(a, b=10, *, c=20):
+        return a + b + c
+
+    fn = _loads(_dumps(f))
+    assert fn(1) == 31
+    assert fn(1, b=2, c=3) == 6
+
+
+def test_marshal_globals_bound_by_module():
+    # a lambda referencing a module global resolves it post-transport
+    fn = _loads(_dumps(lambda: _module_level_fn(41)))
+    assert fn() == 42
+
+
+def test_marshal_nested_payload():
+    payload = ("tag", [lambda: 7, {"k": (1, 2.5, b"xy")}], None)
+    out = _loads(_dumps(payload))
+    assert out[0] == "tag"
+    assert out[1][0]() == 7
+    assert out[1][1] == {"k": (1, 2.5, b"xy")}
+
+
+# ------------------------------------------------------------- blob framing
+def test_split_blobs_extracts_large_bytes():
+    big = bytes(range(256)) * 4
+    small = b"tiny"
+    blobs = []
+    marked = _split_blobs((1, big, [small, big], {"d": bytearray(big)}), blobs)
+    assert len(blobs) == 3  # two bytes + one bytearray, small stays inline
+    assert _join_blobs(marked, blobs) == (1, big, [small, big], {"d": big})
+
+
+def test_split_blobs_threshold():
+    just_under = b"x" * (_BLOB_MIN - 1)
+    at = b"y" * _BLOB_MIN
+    blobs = []
+    marked = _split_blobs((just_under, at), blobs)
+    assert blobs == [at]
+    assert _join_blobs(marked, blobs) == (just_under, at)
+
+
+def test_frame_roundtrip_with_blobs():
+    big = os.urandom(1024)
+    envs = [(1.5e-6, (0.0, 0, 1), "put", (0, 1, 0, big, 7))]
+    blobs = []
+    wire_envs = [(ft, st, k, _split_blobs(m, blobs)) for ft, st, k, m in envs]
+    frame = _encode_frame(0, (0, wire_envs), blobs)
+    kind, payload, rblobs = _decode_frame(frame)
+    assert kind == 0
+    n_done, renvs = payload
+    assert n_done == 0
+    restored = [(ft, st, k, _join_blobs(m, rblobs)) for ft, st, k, m in renvs]
+    assert restored == envs
+
+
+def test_frame_roundtrip_empty():
+    kind, payload, blobs = _decode_frame(_encode_frame(2, None, []))
+    assert kind == 2 and payload is None and blobs == []
+
+
+# ------------------------------------------------------------ shard planning
+def _plan(n_ranks, ppn, shards_env):
+    from repro.gasnet.machine import Machine
+    from repro.gasnet.network import AriesNetwork
+
+    old = os.environ.get(SHARDS_ENV)
+    os.environ[SHARDS_ENV] = str(shards_env)
+    try:
+        s = Scheduler(n_ranks, backend="sharded")
+        s.configure_sharding(Machine.for_ranks(n_ranks, ppn, name="haswell"), AriesNetwork())
+        n = s._plan_shards()
+        return n, s._parts, s._shard_of_rank
+    finally:
+        if old is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = old
+
+
+def test_plan_even_split():
+    n, parts, of_rank = _plan(8, 1, 4)  # 8 nodes, 4 shards
+    assert n == 4
+    assert parts == [(0, 2), (2, 4), (4, 6), (6, 8)]
+    assert of_rank == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_plan_clamped_to_node_count():
+    n, parts, _ = _plan(4, 2, 16)  # 2 nodes: at most 2 shards
+    assert n == 2
+    assert parts == [(0, 2), (2, 4)]
+
+
+def test_plan_uneven_nodes():
+    n, parts, of_rank = _plan(6, 2, 2)  # 3 nodes over 2 shards
+    assert n == 2
+    assert [hi - lo for lo, hi in parts] == [4, 2]  # nodes 0,1 | 2
+    assert of_rank == [0, 0, 0, 0, 1, 1]
+
+
+def test_plan_single_shard_without_machine():
+    old = os.environ.get(SHARDS_ENV)
+    os.environ[SHARDS_ENV] = "8"
+    try:
+        s = Scheduler(4, backend="sharded")  # no configure_sharding
+        assert s._plan_shards() == 1
+        assert s._parts == [(0, 4)]
+    finally:
+        if old is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = old
+
+
+def test_plan_rejects_bad_env(monkeypatch):
+    monkeypatch.setenv(SHARDS_ENV, "0")
+    s = Scheduler(2, backend="sharded")
+    with pytest.raises(ValueError):
+        s._plan_shards()
+
+
+# ------------------------------------------------------- failure transport
+def test_failure_roundtrip_rank_failure():
+    exc = RankFailure(3, "ValueError: boom")
+    kind, msg, rank = _describe_failure(exc)
+    rebuilt = _rebuild_failure(kind, msg, rank)
+    assert isinstance(rebuilt, RankFailure)
+    assert rebuilt.rank == 3
+    assert str(rebuilt) == str(exc)
+
+
+def test_failure_roundtrip_unknown_type():
+    rebuilt = _rebuild_failure("KeyError", "'missing'", None)
+    assert isinstance(rebuilt, SimError)
+    assert "KeyError" in str(rebuilt)
+
+
+# ------------------------------------------------------- canonical traces
+def test_trace_canonical_sort_is_stable_per_rank():
+    t = TraceBuffer()
+    t.record(2.0, 0, "block", "b")
+    t.record(1.0, 1, "block", "x")
+    t.record(1.0, 0, "block", "a")
+    t.record(1.0, 1, "resume", "x")  # same (time, rank): order must persist
+    ev = t.canonical_events()
+    assert [(e.time, e.rank, e.kind) for e in ev] == [
+        (1.0, 0, "block"),
+        (1.0, 1, "block"),
+        (1.0, 1, "resume"),
+        (2.0, 0, "block"),
+    ]
+
+
+def test_trace_extend_canonical_merges_shards():
+    a, b = TraceBuffer(), TraceBuffer()
+    a.record(1.0, 0, "block", "p")
+    a.record(3.0, 0, "resume", "p")
+    b.record(1.0, 1, "block", "q")
+    b.record(2.0, 1, "resume", "q")
+    merged = TraceBuffer()
+    merged.extend_canonical([list(a._events), list(b._events)])
+    single = TraceBuffer()
+    for t_, r_, k_, d_ in [(1.0, 0, "block", "p"), (1.0, 1, "block", "q"),
+                           (2.0, 1, "resume", "q"), (3.0, 0, "resume", "p")]:
+        single.record(t_, r_, k_, d_)
+    assert merged.canonical_fingerprint() == single.canonical_fingerprint()
+    assert merged.fingerprint() == single.fingerprint()
+
+
+# ----------------------------------------------------- sharded error surfaces
+def _with_shards(n):
+    os.environ[SHARDS_ENV] = str(n)
+
+
+@pytest.fixture
+def two_shards(monkeypatch):
+    monkeypatch.setenv(SHARDS_ENV, "2")
+
+
+def test_cross_shard_segment_access_raises(two_shards):
+    """Reading a remote rank's segment directly (global_ptr.local() style)
+    cannot work across address spaces and must raise a clear SimError."""
+
+    def body():
+        me = upcxx.rank_me()
+        ptr = upcxx.new_array(np.uint8, 16)
+        remote = upcxx.broadcast(ptr, root=0).wait()
+        upcxx.barrier()
+        if me == 1:
+            # rank 1 (shard 1) touching rank 0's segment (shard 0)
+            upcxx.runtime_here().world.conduit.segment(remote.rank)
+        upcxx.barrier()
+        return me
+
+    with pytest.raises(RankFailure, match="segment access"):
+        upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend="sharded")
+
+
+def test_sharded_rank_failure_has_origin_rank(two_shards):
+    def body():
+        if upcxx.rank_me() == 1:
+            raise RuntimeError("deliberate")
+        upcxx.barrier()
+        return 0
+
+    with pytest.raises(RankFailure) as ei:
+        upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend="sharded")
+    assert ei.value.rank == 1
+    assert "deliberate" in str(ei.value)
+
+
+def test_sharded_deadlock_message_matches_single_process(two_shards):
+    from repro.gasnet.machine import Machine
+    from repro.gasnet.network import AriesNetwork
+    from repro.sim.coop import current_scheduler
+    from repro.sim.errors import DeadlockError
+
+    def body(r):
+        s = current_scheduler()
+        s.charge(1e-6)
+        if r == 1:
+            s.block("waiting forever")
+        return r
+
+    msgs = {}
+    for backend in ("coroutines", "sharded"):
+        sched = Scheduler(4, backend=backend)
+        if backend == "sharded":
+            sched.configure_sharding(Machine.for_ranks(4, 1, name="haswell"), AriesNetwork())
+        with pytest.raises(DeadlockError) as ei:
+            sched.run(body)
+        msgs[backend] = str(ei.value)
+    assert msgs["coroutines"] == msgs["sharded"]
+
+
+def test_sharded_profile_writes_for_remote_shard_rank(two_shards, monkeypatch, tmp_path):
+    """REPRO_PROFILE=1 profiles the shard that owns REPRO_PROFILE_RANK and
+    writes REPRO_PROFILE_OUT from that worker process."""
+    from repro.util import profile as prof
+
+    out = tmp_path / "rank3.pstats"
+    monkeypatch.setenv(prof.PROFILE_ENV, "1")
+    monkeypatch.setenv(prof.PROFILE_RANK_ENV, "3")
+    monkeypatch.setenv(prof.PROFILE_OUT_ENV, str(out))
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        fut = upcxx.rpc((me + 1) % n, lambda: upcxx.rank_me())
+        assert fut.wait() == (me + 1) % n
+        upcxx.barrier()
+        return upcxx.sim_now()
+
+    upcxx.run_spmd(body, 4, platform="haswell", ppn=1, backend="sharded")
+    assert out.exists() and out.stat().st_size > 0
+    import pstats
+
+    assert len(pstats.Stats(str(out)).stats) > 0
+
+
+def test_sharded_metrics_merge_across_shards(two_shards):
+    """Per-rank metrics collected in the workers surface in the parent's
+    Metrics object, for every rank on every shard."""
+    from repro.util.metrics import Metrics
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        dest = upcxx.broadcast(upcxx.new_array(np.uint8, 64), root=1).wait()
+        upcxx.barrier()
+        if me == 0:
+            upcxx.rput(bytes(64), dest).wait()
+        upcxx.barrier()
+        return upcxx.sim_now()
+
+    results = {}
+    for backend in ("coroutines", "sharded"):
+        m = Metrics(enabled=True)
+        upcxx.run_spmd(body, 2, platform="haswell", ppn=1, backend=backend, metrics=m)
+        results[backend] = m
+    m_c, m_s = results["coroutines"], results["sharded"]
+    assert set(m_s._ranks) == set(m_c._ranks)
+    # rank 0 injected the put on shard 0; identical accounting either way
+    assert m_s.rank(0).nic_bytes == m_c.rank(0).nic_bytes
+
+
+def test_sharded_scheduler_is_scheduler():
+    s = Scheduler(2, backend="sharded")
+    assert isinstance(s, ShardedScheduler)
+    assert isinstance(s, Scheduler)
