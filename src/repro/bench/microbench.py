@@ -272,3 +272,40 @@ def run_fig3b(sizes: Sequence[int] = FIG3_SIZES, iters: int = 64) -> BenchTable:
         su.add(size, u[size] / giB)
         sm.add(size, m[size] / giB)
     return table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Figure runner: ``python -m repro.bench.microbench --fig 3a [--report]``.
+
+    ``--report`` appends the causal-span critical-path breakdown for the
+    figure's workload (see ``docs/observability.md``) so a latency number
+    can be read next to *where* that latency comes from.
+    """
+    import argparse
+
+    ap = argparse.ArgumentParser(description="Fig. 3 microbenchmark runner")
+    ap.add_argument("--fig", choices=("3a", "3b"), default="3a")
+    ap.add_argument("--sizes", type=int, nargs="*", default=None)
+    ap.add_argument("--iters", type=int, default=None)
+    ap.add_argument(
+        "--report",
+        action="store_true",
+        help="follow the figure with a span critical-path report (repro.tools.report)",
+    )
+    args = ap.parse_args(argv)
+    sizes = args.sizes or FIG3_SIZES
+    if args.fig == "3a":
+        table = run_fig3a(sizes, args.iters or 20)
+    else:
+        table = run_fig3b(sizes, args.iters or 64)
+    print(table.render())
+    if args.report:
+        from repro.tools.report import main as report_main
+
+        print()
+        return report_main(["--workload", "fig3a", "--format", "text"])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

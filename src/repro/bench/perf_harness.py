@@ -208,6 +208,12 @@ def _peak_rss_kb() -> int:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
+def _peak_rss_children_kb() -> int:
+    """Peak RSS over reaped children in KiB (the sharded backend's
+    workers live here; 0 until a forked worker has exited)."""
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+
+
 def measure(
     name: str,
     scale: str,
@@ -240,6 +246,7 @@ def measure(
         "switches": switches,
         "switches_per_s": round(switches / best_wall, 1) if switches else None,
         "peak_rss_kb": _peak_rss_kb(),
+        "peak_rss_children_kb": _peak_rss_children_kb(),
     }
     if "n_shards" in stats:
         record["n_shards"] = stats["n_shards"]
@@ -360,6 +367,29 @@ def run_harness(
     ]
     # legacy key: older tooling reads a single dict at report["gate"]
     report["gate"] = report["gates"][0]
+
+    # causal-span attribution per backend (Fig. 3a workload): where the
+    # simulated round-trip time goes, plus a cross-backend fingerprint
+    # check — a divergence here is a determinism bug, same as above
+    from repro.tools.report import analyze_workload
+
+    span_section: dict = {}
+    for backend in matrix:
+        rep = analyze_workload(
+            "fig3a", backend, shards if backend == "sharded" else None
+        )
+        span_section[backend] = {
+            "fingerprint": rep["fingerprint"],
+            "n_spans": rep["n_spans"],
+            "attribution_s": rep["attribution_s"],
+        }
+    fps = {b: s["fingerprint"] for b, s in span_section.items()}
+    if len(set(fps.values())) > 1:
+        raise AssertionError(
+            f"span fingerprints diverged across backends: {fps} — "
+            "fix determinism first"
+        )
+    report["span_attribution"] = span_section
 
     with open(out_path, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)

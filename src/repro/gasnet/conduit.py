@@ -96,6 +96,7 @@ class Conduit:
         network: NetworkModel,
         segment_size: int = 32 * 1024 * 1024,
         metrics=None,
+        spans=None,
     ):
         if machine.n_ranks < sched.n_ranks:
             raise ValueError(
@@ -106,6 +107,10 @@ class Conduit:
         self.network = network
         #: optional repro.util.metrics.Metrics for NIC injection accounting
         self.metrics = metrics if metrics is not None and metrics.enabled else None
+        #: optional repro.util.spans.SpanBuffer for causal span tracing;
+        #: ops that carry a ``span`` correlation id record their NIC and
+        #: wire phases here (passive: no clock reads, no event posts)
+        self.spans = spans if spans is not None and spans.enabled else None
         self.endpoints = [_Endpoint(r, segment_size) for r in range(sched.n_ranks)]
         # hot-path lookup tables: rank -> node (replaces machine.same_node
         # calls per op), the two propagation latencies, and a memo of
@@ -223,12 +228,24 @@ class Conduit:
         return done
 
     # ------------------------------------------------------------ wire timing
-    def _inject(self, src: int, dst: int, nbytes: int, path: str, start: float, occ_scale: float = 1.0):
+    def _inject(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        path: str,
+        start: float,
+        occ_scale: float = 1.0,
+        span: Optional[tuple] = None,
+        kind: str = "op",
+    ):
         """Schedule one wire transfer; returns (injection_done, arrival).
 
         ``occ_scale`` multiplies the injection occupancy; client layers use
         values > 1 to model software pipelines that under-drive the NIC
         (e.g. Cray MPICH's mid-size RMA path in the paper's Fig. 3b).
+        ``span``, when given, records the backpressure/occupancy/wire
+        phases of this transfer under that correlation id.
         """
         if occ_scale <= 0:
             raise ValueError(f"occ_scale must be positive, got {occ_scale}")
@@ -250,6 +267,11 @@ class Conduit:
             # wire time = occupancy; backpressure = time spent queued behind
             # earlier injections on this NIC before the wire was free
             self.metrics.rank(src).nic_injected(nbytes, occ, begin - start)
+        sp = self.spans
+        if sp is not None and span is not None:
+            sp.record(start, begin, src, span, "nic_wait", kind, nbytes)
+            sp.record(begin, done, src, span, "nic_occ", kind, nbytes)
+            sp.record(done, arrival, src, span, "wire", kind, nbytes)
         return done, arrival
 
     # ------------------------------------------------------------------- put
@@ -262,6 +284,7 @@ class Conduit:
         path: str = PATH_FMA,
         occ_scale: float = 1.0,
         remote_rpc: Optional[tuple] = None,
+        span: Optional[tuple] = None,
     ) -> Handle:
         """One-sided put of ``data`` into ``dst``'s segment at ``dst_off``.
 
@@ -270,7 +293,9 @@ class Conduit:
         ``remote_rpc``, if given, is a ``(fn, args, t_active)`` triple run
         at the target the instant the bytes land (UPC++
         ``remote_cx::as_rpc`` piggybacking); it is structured data — not a
-        closure — so it can cross shard boundaries.
+        closure — so it can cross shard boundaries.  ``span`` is the
+        client's span correlation id; it also rides the cross-shard
+        envelope so target-side effects stay correlated.
         """
         data = bytes(data)
         nbytes = len(data)
@@ -279,15 +304,18 @@ class Conduit:
         ep = self.endpoints[src]
         ep.n_puts += 1
         handle = Handle(("put", src, dst, nbytes))
-        _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
+        _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale, span, "put")
         node = self._node
         ack_latency = self._lat_shm if node[src] == node[dst] else self._lat_net
         ack_time = arrival + ack_latency
+        if span is not None and self.spans is not None:
+            # remote commit is instantaneous; the ack rides one latency back
+            self.spans.record(arrival, ack_time, src, span, "ack_wire", "put", nbytes)
         if not self._is_local(dst):
             hid = self._register_handle(handle)
             self._shard.emit_envelope(
                 dst, arrival, "put",
-                (src, dst, dst_off, data, hid, ack_time, remote_rpc, nbytes),
+                (src, dst, dst_off, data, hid, ack_time, remote_rpc, nbytes, span),
             )
             return handle
         dst_seg = self.endpoints[dst].segment
@@ -296,7 +324,7 @@ class Conduit:
             dst_seg.write(dst_off, data)
             if remote_rpc is not None:
                 fn, args, t_active = remote_rpc
-                self._remote_cx_deliver(dst, fn, args, nbytes, t_active, arrival)
+                self._remote_cx_deliver(dst, fn, args, nbytes, t_active, arrival, span)
             sched.post_at(ack_time, lambda: handle.complete(ack_time))
 
         sched.post_at(arrival, commit_and_ack)
@@ -304,11 +332,11 @@ class Conduit:
 
     def _env_put(self, meta, fire_time: float) -> None:
         """Target half of a cross-shard put (network context, dst shard)."""
-        src, dst, dst_off, data, hid, ack_time, remote_rpc, nbytes = meta
+        src, dst, dst_off, data, hid, ack_time, remote_rpc, nbytes, span = meta
         self.endpoints[dst].segment.write(dst_off, data)
         if remote_rpc is not None:
             fn, args, t_active = remote_rpc
-            self._remote_cx_deliver(dst, fn, args, nbytes, t_active, fire_time)
+            self._remote_cx_deliver(dst, fn, args, nbytes, t_active, fire_time, span)
         self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
 
     # ------------------------------------------------------------------- get
@@ -320,6 +348,7 @@ class Conduit:
         nbytes: int,
         path: str = PATH_FMA,
         occ_scale: float = 1.0,
+        span: Optional[tuple] = None,
     ) -> Handle:
         """One-sided get of ``nbytes`` from ``dst``'s segment at ``dst_off``.
 
@@ -332,12 +361,14 @@ class Conduit:
         ep.n_gets += 1
         handle = Handle(("get", src, dst, nbytes))
         # request: small control message
-        _, req_arrival = self._inject(src, dst, self.network.header_bytes, PATH_FMA, now)
+        _, req_arrival = self._inject(
+            src, dst, self.network.header_bytes, PATH_FMA, now, 1.0, span, "get"
+        )
         if not self._is_local(dst):
             hid = self._register_handle(handle)
             self._shard.emit_envelope(
                 dst, req_arrival, "get",
-                (src, dst, dst_off, nbytes, path, occ_scale, hid),
+                (src, dst, dst_off, nbytes, path, occ_scale, hid, span),
             )
             return handle
         dst_ep = self.endpoints[dst]
@@ -359,6 +390,11 @@ class Conduit:
             if self.metrics is not None:
                 # the reply stream occupies the *destination* NIC
                 self.metrics.rank(dst).nic_injected(nbytes, occ, begin - req_arrival)
+            sp = self.spans
+            if sp is not None and span is not None:
+                sp.record(req_arrival, begin, dst, span, "remote_nic_wait", "get", nbytes)
+                sp.record(begin, begin + occ, dst, span, "remote_occ", "get", nbytes)
+                sp.record(begin + occ, back, dst, span, "wire_back", "get", nbytes)
             sched.post_at(back, lambda: handle.complete(back, data=data))
 
         sched.post_at(req_arrival, service_request)
@@ -367,7 +403,7 @@ class Conduit:
     def _env_get(self, meta, fire_time: float) -> None:
         """Target half of a cross-shard get: the destination NIC reads
         memory and streams the reply (network context, dst shard)."""
-        src, dst, dst_off, nbytes, path, occ_scale, hid = meta
+        src, dst, dst_off, nbytes, path, occ_scale, hid, span = meta
         dst_ep = self.endpoints[dst]
         data = bytes(dst_ep.segment.read(dst_off, nbytes))
         begin = max(fire_time, dst_ep.nic_free_at)
@@ -380,6 +416,11 @@ class Conduit:
         back = begin + occ + self._lat_net
         if self.metrics is not None:
             self.metrics.rank(dst).nic_injected(nbytes, occ, begin - fire_time)
+        sp = self.spans
+        if sp is not None and span is not None:
+            sp.record(fire_time, begin, dst, span, "remote_nic_wait", "get", nbytes)
+            sp.record(begin, begin + occ, dst, span, "remote_occ", "get", nbytes)
+            sp.record(begin + occ, back, dst, span, "wire_back", "get", nbytes)
         self._shard.emit_envelope(src, back, "cpl", (hid, True, data))
 
     # -------------------------------------------------------------------- AM
@@ -394,25 +435,32 @@ class Conduit:
         token: Any = None,
         meta: Optional[dict] = None,
         occ_scale: float = 1.0,
+        span: Optional[tuple] = None,
     ) -> Handle:
         """Send an active message; handle completes at source injection end.
 
         The destination is woken at arrival so a rank blocked in ``wait()``
         (user-level progress) can process the message; a rank that is busy
-        computing will only see it at its next progress call.
+        computing will only see it at its next progress call.  ``span``
+        rides the message metadata (``msg_meta["sid"]``) so the target's
+        progress engine can correlate inbox dwell and dispatch.
         """
         sched = self.sched
         now = sched.now()
         ep = self.endpoints[src]
         ep.n_ams += 1
         handle = Handle(("am", src, dst, tag, nbytes))
-        inj_done, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
+        inj_done, arrival = self._inject(src, dst, nbytes, path, now, occ_scale, span, "am")
         msg_meta = dict(meta) if meta else None
         if self.metrics is not None:
             # lets the receiver account wire time (active -> complete dwell)
             if msg_meta is None:
                 msg_meta = {}
             msg_meta["t_injected"] = now
+        if span is not None and self.spans is not None:
+            if msg_meta is None:
+                msg_meta = {}
+            msg_meta["sid"] = span
         if not self._is_local(dst):
             # source-side injection completion stays local; delivery crosses
             self._shard.emit_envelope(
@@ -450,6 +498,7 @@ class Conduit:
         op: str = "+",
         path: str = PATH_FMA,
         occ_scale: float = 1.0,
+        span: Optional[tuple] = None,
     ) -> Handle:
         """Element-wise remote accumulate (MPI_Accumulate-class operation).
 
@@ -466,9 +515,11 @@ class Conduit:
         ep = self.endpoints[src]
         ep.n_amos += 1
         handle = Handle(("acc", op, src, dst, nbytes))
-        _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale)
+        _, arrival = self._inject(src, dst, nbytes, path, now, occ_scale, span, "acc")
         same = self.machine.same_node(src, dst)
         ack_latency = self.network.latency(same)
+        if span is not None and self.spans is not None:
+            self.spans.record(arrival, arrival + ack_latency, src, span, "ack_wire", "acc", nbytes)
         if not self._is_local(dst):
             hid = self._register_handle(handle)
             self._shard.emit_envelope(
@@ -515,6 +566,7 @@ class Conduit:
         op: str,
         dtype,
         operands: tuple = (),
+        span: Optional[tuple] = None,
     ) -> Handle:
         """NIC-offloaded remote atomic on one element at ``dst_off``.
 
@@ -530,9 +582,13 @@ class Conduit:
         ep = self.endpoints[src]
         ep.n_amos += 1
         handle = Handle(("amo", op, src, dst))
-        _, arrival = self._inject(src, dst, dt.itemsize + self.network.header_bytes, PATH_FMA, now)
+        amo_bytes = dt.itemsize + self.network.header_bytes
+        _, arrival = self._inject(src, dst, amo_bytes, PATH_FMA, now, 1.0, span, "amo")
         same = self.machine.same_node(src, dst)
         back_latency = self.network.latency(same)
+        if span is not None and self.spans is not None:
+            # the NIC applies the atomic at arrival; result rides one latency back
+            self.spans.record(arrival, arrival + back_latency, src, span, "ack_wire", "amo", dt.itemsize)
         if not self._is_local(dst):
             hid = self._register_handle(handle)
             self._shard.emit_envelope(

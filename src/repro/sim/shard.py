@@ -61,6 +61,7 @@ import pickle
 import struct
 import sys
 import threading
+import time
 import types
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -265,18 +266,26 @@ class _Channel:
         self.shard_id = shard_id
         self.conns = conns
         self.peers = sorted(conns)
+        # CMB observability (wall-clock side; never enters simulated state)
+        self.n_env_sent = 0
+        self.n_env_recv = 0
+        self.bytes_sent = 0
+        self.bytes_recv = 0
 
     def _xchg(self, peer: int, frame: bytes) -> bytes:
         conn = self.conns[peer]
         try:
             if self.shard_id < peer:
                 conn.send_bytes(frame)
-                return conn.recv_bytes()
-            raw = conn.recv_bytes()
-            conn.send_bytes(frame)
-            return raw
+                raw = conn.recv_bytes()
+            else:
+                raw = conn.recv_bytes()
+                conn.send_bytes(frame)
         except (EOFError, OSError, BrokenPipeError) as exc:
             raise _PeerDied(f"shard {peer} terminated mid-protocol: {exc}") from None
+        self.bytes_sent += len(frame)
+        self.bytes_recv += len(raw)
+        return raw
 
     def exchange_envelopes(self, per_peer_out: dict, n_done: int, failing: bool):
         """Phase A: swap envelopes + done counts (or a FAIL notice).
@@ -295,6 +304,7 @@ class _Channel:
                     (ft, stamp, kind, _split_blobs(meta, blobs))
                     for (ft, stamp, kind, meta) in per_peer_out.get(peer, ())
                 ]
+                self.n_env_sent += len(envs)
                 frame = _encode_frame(_K_ENV, (n_done, envs), blobs)
             kind, payload, rblobs = _decode_frame(self._xchg(peer, frame))
             if kind == _K_FAIL:
@@ -302,6 +312,7 @@ class _Channel:
             elif kind == _K_ENV:
                 pdone, envs = payload
                 peer_done += pdone
+                self.n_env_recv += len(envs)
                 for ft, stamp, ekind, meta in envs:
                     incoming.append((ft, stamp, ekind, _join_blobs(meta, rblobs)))
             else:
@@ -392,6 +403,11 @@ class ShardedScheduler(CoroutineScheduler):
         self._wbound = _INF
         self._chan: Optional[_Channel] = None
         self._outbox: dict = {}  # dst shard -> [envelope]
+        # CMB window observability (wall-clock; reported via stats() only —
+        # nondeterministic, so it must never feed results or fingerprints)
+        self._n_windows = 0
+        self._stall_env_s = 0.0
+        self._stall_hor_s = 0.0
         # built-in envelope kinds; conduits add theirs via bind_shard
         self._env_handlers: dict = {
             "wake": lambda meta, ft: CoroutineScheduler.wake(self, meta, ft),
@@ -600,9 +616,12 @@ class ShardedScheduler(CoroutineScheduler):
             failing = self._failure is not None
             outbox = self._outbox
             self._outbox = {}
+            self._n_windows += 1
+            t0 = time.perf_counter()
             incoming, peer_done, fail_seen = chan.exchange_envelopes(
                 outbox, self._n_done, failing
             )
+            self._stall_env_s += time.perf_counter() - t0
             if failing:
                 raise self._failure
             if fail_seen:
@@ -620,7 +639,9 @@ class ShardedScheduler(CoroutineScheduler):
                     )
                 self._insert_envelope(env)
             h = self._local_horizon()
+            t0 = time.perf_counter()
             peer_min = chan.exchange_horizons(h)
+            self._stall_hor_s += time.perf_counter() - t0
             if h == _INF and peer_min == _INF:
                 if self._n_done + peer_done == n_total:
                     return []
@@ -644,12 +665,21 @@ class ShardedScheduler(CoroutineScheduler):
 
     def _worker_stats(self) -> dict:
         ev = self._events.stats
+        chan = self._chan
         return {
             "shard": self._shard_id,
             "ranks": [self._local_lo, self._local_hi],
             "switches": self.switches,
             "events_posted": ev["posted"],
             "events_fired": ev["fired"],
+            # CMB window loop (wall-clock observability)
+            "windows": self._n_windows,
+            "window_stall_s": self._stall_env_s,
+            "horizon_wait_s": self._stall_hor_s,
+            "envelopes_sent": 0 if chan is None else chan.n_env_sent,
+            "envelopes_received": 0 if chan is None else chan.n_env_recv,
+            "pipe_bytes_sent": 0 if chan is None else chan.bytes_sent,
+            "pipe_bytes_received": 0 if chan is None else chan.bytes_recv,
         }
 
     def _collect_metrics(self) -> dict:
@@ -662,6 +692,14 @@ class ShardedScheduler(CoroutineScheduler):
                     if rm is not None:
                         out[r] = rm
         return out
+
+    def _collect_spans(self) -> list:
+        """This shard's span records (plain tuples, pickle-safe)."""
+        for c in self._conduits:
+            sp = getattr(c, "spans", None)
+            if sp is not None:
+                return list(sp._records)
+        return []
 
     def _worker_entry(self, shard_id: int, parent_conn, own_conns, all_conns) -> None:
         payload = None
@@ -707,6 +745,7 @@ class ShardedScheduler(CoroutineScheduler):
                     "trace": list(self.trace._events) if self.trace.enabled else [],
                     "stats": self._worker_stats(),
                     "metrics": self._collect_metrics(),
+                    "spans": self._collect_spans(),
                 },
             )
         except _ShardDeadlock as exc:
@@ -845,6 +884,7 @@ class ShardedScheduler(CoroutineScheduler):
         posted = fired = 0
         metrics_merged: dict = {}
         trace_lists = []
+        span_lists = []
         for pl in payloads:
             body = pl[1]
             for rid, res in body["results"].items():
@@ -856,6 +896,7 @@ class ShardedScheduler(CoroutineScheduler):
             fired += st["events_fired"]
             metrics_merged.update(body["metrics"])
             trace_lists.append(body["trace"])
+            span_lists.append(body.get("spans", []))
         # fold the merged counters into the (otherwise unused) parent queue
         self._events._count_posted += posted
         self._events._count_fired += fired
@@ -868,12 +909,27 @@ class ShardedScheduler(CoroutineScheduler):
                 if m is not None:
                     m._ranks.update(metrics_merged)
                     break
+        if any(span_lists):
+            for c in self._conduits:
+                sp = getattr(c, "spans", None)
+                if sp is not None:
+                    sp.extend_canonical(span_lists)
+                    break
         return results
 
     def stats(self) -> dict:
         d = Scheduler.stats(self)
         d["n_shards"] = self._n_shards_used
         d["per_shard"] = self._per_shard_stats
+        ps = self._per_shard_stats
+        if ps:
+            # window counts are symmetric (every shard walks the same loop);
+            # report the max so partially-reported failures stay visible
+            d["windows"] = max(st.get("windows", 0) for st in ps)
+            d["window_stall_s"] = sum(st.get("window_stall_s", 0.0) for st in ps)
+            d["horizon_wait_s"] = sum(st.get("horizon_wait_s", 0.0) for st in ps)
+            d["envelopes_exchanged"] = sum(st.get("envelopes_sent", 0) for st in ps)
+            d["pipe_bytes"] = sum(st.get("pipe_bytes_sent", 0) for st in ps)
         return d
 
 

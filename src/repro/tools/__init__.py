@@ -1,0 +1,1 @@
+"""Command-line diagnostics tools (``python -m repro.tools.<name>``)."""

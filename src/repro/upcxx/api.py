@@ -41,6 +41,7 @@ def run_spmd(
     max_time: float = 1e6,
     metrics=None,
     trace=None,
+    spans=None,
     backend: Optional[str] = None,
     sched_stats: Optional[dict] = None,
 ) -> List[object]:
@@ -50,11 +51,13 @@ def run_spmd(
     ``rpc`` ...).  Returns the list of per-rank return values.
 
     Observability: pass ``metrics`` (a :class:`repro.util.Metrics`) to
-    collect per-rank op-lifecycle metrics, and/or ``trace`` (a
+    collect per-rank op-lifecycle metrics, ``trace`` (a
     :class:`repro.util.TraceBuffer`) to record scheduler/progress events —
     exportable to a Perfetto/Chrome trace via
-    :func:`repro.util.export_chrome_trace`.  Both default to off and cost
-    nothing when absent.
+    :func:`repro.util.export_chrome_trace` — and/or ``spans`` (a
+    :class:`repro.util.SpanBuffer`) to capture per-operation causal spans
+    for the ``repro.tools.report`` critical-path analysis.  All default to
+    off and cost nothing when absent.
 
     ``backend`` selects the scheduler implementation ("coroutines",
     "threads", or "sharded"; default: ``$REPRO_SIM_BACKEND`` or
@@ -72,7 +75,9 @@ def run_spmd(
     cfg = getattr(sched, "configure_sharding", None)
     if cfg is not None:
         cfg(machine, network)
-    world = World(sched, machine, network, cpu, costs, segment_size, seed, metrics=metrics)
+    world = World(
+        sched, machine, network, cpu, costs, segment_size, seed, metrics=metrics, spans=spans
+    )
 
     def bootstrap(rank: int):
         rt = Runtime(world, rank)

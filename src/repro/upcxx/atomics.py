@@ -60,6 +60,12 @@ class AtomicDomain:
             raise UpcxxError(f"atomic_domain dtype {self.dtype} != pointer dtype {gptr.dtype}")
         rt = self.rt
         conduit_op, fetches = _OP_TABLE[op]
+        sp = rt.spans
+        sid = None
+        t_api = 0.0
+        if sp is not None:
+            sid = rt.next_span_sid()
+            t_api = rt.now()
         rt.charge_sw(rt.costs.atomic_inject)
         promise, fut = resolve(cx, rt)
         anonymous = cx is not None and cx.kind == "promise"
@@ -68,7 +74,11 @@ class AtomicDomain:
             opid = rt.next_op_id()
             rt.actQ[opid] = f"amo {op} -> {gptr.rank}"
             t_active = rt.now()
-            handle = rt.conduit.amo(rt.rank, gptr.rank, gptr.offset, conduit_op, self.dtype, operands)
+            if sp is not None:
+                sp.record(t_api, t_active, rt.rank, sid, "inject_sw", "amo", self.dtype.itemsize)
+            handle = rt.conduit.amo(
+                rt.rank, gptr.rank, gptr.offset, conduit_op, self.dtype, operands, span=sid
+            )
 
             def on_done(h):
                 def fulfill():
@@ -89,6 +99,7 @@ class AtomicDomain:
                         "amo",
                         self.dtype.itemsize,
                         t_active,
+                        sid=sid,
                     ),
                     h.time_done,
                 )

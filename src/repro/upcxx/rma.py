@@ -61,6 +61,12 @@ def rput(
     if nbytes > dest.nbytes:
         raise GlobalPtrError(f"rput of {nbytes}B exceeds destination span of {dest.nbytes}B")
     rt.n_rputs += 1
+    sp = rt.spans
+    sid = None
+    t_api = 0.0
+    if sp is not None:
+        sid = rt.next_span_sid()
+        t_api = rt.now()
     rt.sched.charge(rt._c_rma_inject)
     promise, fut = resolve(cx, rt)
     remote_rpc = cx.remote_rpc if cx is not None else None
@@ -70,6 +76,9 @@ def rput(
         opid = rt.next_op_id()
         rt.actQ[opid] = ("rput", nbytes, dest.rank)
         t_active = rt.now()
+        if sp is not None:
+            # API call + injection charge + defQ dwell, up to NIC handoff
+            sp.record(t_api, t_active, rt.rank, sid, "inject_sw", "rput", nbytes)
 
         # remote_cx work crosses the wire as (fn, args, t_active) data — the
         # conduit hands it to the target's runtime via the World's deliverer
@@ -80,7 +89,7 @@ def rput(
             rrpc = (fn, args, t_active)
 
         handle = rt.conduit.put_nb(
-            rt.rank, dest.rank, dest.offset, data, path, remote_rpc=rrpc
+            rt.rank, dest.rank, dest.offset, data, path, remote_rpc=rrpc, span=sid
         )
 
         def on_done(h):  # network context at initiator
@@ -90,7 +99,7 @@ def rput(
                     promise.fulfill_anonymous(1)
 
             rt.gasnet_completed(
-                CompQItem.acquire(rt._c_completion, fulfill, "rput", nbytes, t_active),
+                CompQItem.acquire(rt._c_completion, fulfill, "rput", nbytes, t_active, sid=sid),
                 h.time_done,
             )
             rt.sched.wake(rt.rank, h.time_done)
@@ -120,6 +129,12 @@ def rget(
         raise GlobalPtrError(f"rget of {n} elements outside span of {src.count}")
     nbytes = n * src.itemsize
     rt.n_rgets += 1
+    sp = rt.spans
+    sid = None
+    t_api = 0.0
+    if sp is not None:
+        sid = rt.next_span_sid()
+        t_api = rt.now()
     rt.sched.charge(rt._c_rma_inject)
     promise, fut = resolve(cx, rt)
     # a user-supplied promise may track many operations, so it is fulfilled
@@ -132,7 +147,9 @@ def rget(
         opid = rt.next_op_id()
         rt.actQ[opid] = ("rget", nbytes, src.rank)
         t_active = rt.now()
-        handle = rt.conduit.get_nb(rt.rank, src.rank, src.offset, nbytes, path)
+        if sp is not None:
+            sp.record(t_api, t_active, rt.rank, sid, "inject_sw", "rget", nbytes)
+        handle = rt.conduit.get_nb(rt.rank, src.rank, src.offset, nbytes, path, span=sid)
 
         def on_done(h):  # network context
             raw = h.data
@@ -149,7 +166,7 @@ def rget(
                 promise.fulfill_result(value)
 
             rt.gasnet_completed(
-                CompQItem.acquire(rt._c_completion, fulfill, "rget", nbytes, t_active),
+                CompQItem.acquire(rt._c_completion, fulfill, "rget", nbytes, t_active, sid=sid),
                 h.time_done,
             )
             rt.sched.wake(rt.rank, h.time_done)

@@ -129,13 +129,23 @@ def _inject_am(
     tag: str,
     payload: dict,
     nbytes: int,
+    sid: Optional[tuple] = None,
+    t_api: float = 0.0,
+    parent: Optional[tuple] = None,
 ) -> None:
-    """Stage an AM on defQ and run internal progress (Fig. 2 left side)."""
+    """Stage an AM on defQ and run internal progress (Fig. 2 left side).
+
+    ``sid``/``t_api`` open the op's ``inject_sw`` span (minted by the
+    caller *before* its injection charges); ``parent`` links a reply to
+    the request that spawned it.
+    """
 
     def injector():
         opid = rt.next_op_id()
         rt.actQ[opid] = (tag, target, nbytes)
-        handle = rt.conduit.am_send(rt.rank, target, tag, payload, nbytes=nbytes)
+        if sid is not None:
+            rt.spans.record(t_api, rt.now(), rt.rank, sid, "inject_sw", tag[6:], nbytes, parent)
+        handle = rt.conduit.am_send(rt.rank, target, tag, payload, nbytes=nbytes, span=sid)
         handle.on_complete(lambda h: rt.actQ.pop(opid, None))
 
     # metrics kind: the tag minus its "upcxx." namespace, so injection and
@@ -150,6 +160,11 @@ def rpc(target: int, fn: Callable, *args) -> Future:
     if not 0 <= target < rt.world.n_ranks:
         raise UpcxxError(f"rpc target {target} out of range [0, {rt.world.n_ranks})")
     rt.n_rpcs_sent += 1
+    sid = None
+    t_api = 0.0
+    if rt.spans is not None:
+        sid = rt.next_span_sid()
+        t_api = rt.now()
     wire_args, fns = _translate_args_out(rt, args)
     raw = serialization.pack(wire_args)
     view_bytes = serialization.copy_free_bytes(args)
@@ -162,7 +177,8 @@ def rpc(target: int, fn: Callable, *args) -> Future:
     rt.reply_table[token] = promise
     # envelope tuple: (fn, fns, raw, token, reply_to, copy_bytes)
     payload = (fn, fns, raw, token, rt.rank, nraw - view_bytes)
-    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=nraw + _ENVELOPE_BYTES)
+    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=nraw + _ENVELOPE_BYTES,
+               sid=sid, t_api=t_api)
     return promise.get_future()
 
 
@@ -172,6 +188,11 @@ def rpc_ff(target: int, fn: Callable, *args) -> None:
     if not 0 <= target < rt.world.n_ranks:
         raise UpcxxError(f"rpc_ff target {target} out of range [0, {rt.world.n_ranks})")
     rt.n_rpcs_sent += 1
+    sid = None
+    t_api = 0.0
+    if rt.spans is not None:
+        sid = rt.next_span_sid()
+        t_api = rt.now()
     wire_args, fns = _translate_args_out(rt, args)
     raw = serialization.pack(wire_args)
     view_bytes = serialization.copy_free_bytes(args)
@@ -179,11 +200,12 @@ def rpc_ff(target: int, fn: Callable, *args) -> None:
     rt.sched.charge(rt._c_rpc_inject)
     rt.charge_copy(nraw)
     payload = (fn, fns, raw, None, rt.rank, nraw - view_bytes)
-    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=nraw + _ENVELOPE_BYTES)
+    _inject_am(rt, target, "upcxx.rpc", payload, nbytes=nraw + _ENVELOPE_BYTES,
+               sid=sid, t_api=t_api)
 
 
 # --------------------------------------------------------------- dispatchers
-def _execute_rpc_body(rt: Runtime, payload: tuple) -> None:
+def _execute_rpc_body(rt: Runtime, payload: tuple, req_sid: Optional[tuple] = None) -> None:
     """Run an incoming RPC (rank context, inside user progress)."""
     fn, fns, raw, token, reply_to, _copy_bytes = payload
     args = serialization.unpack(raw)
@@ -191,7 +213,7 @@ def _execute_rpc_body(rt: Runtime, payload: tuple) -> None:
         resolved = _resolve_args_in(rt, args, fns)
     except _UnresolvedDistObject as ex:
         # Defer until the local representative is constructed.
-        item = CompQItem(0.0, lambda: _execute_rpc_body(rt, payload), "rpc-deferred")
+        item = CompQItem(0.0, lambda: _execute_rpc_body(rt, payload, req_sid), "rpc-deferred")
         rt.dist_waiters.setdefault(ex.key, []).append(item)
         return
 
@@ -202,6 +224,12 @@ def _execute_rpc_body(rt: Runtime, payload: tuple) -> None:
 
     def send_reply(values: tuple) -> None:
         reply_raw = serialization.pack(values)
+        # the reply is a child operation, causally linked to the request
+        rsid = None
+        t_api = 0.0
+        if rt.spans is not None:
+            rsid = rt.next_span_sid()
+            t_api = rt.now()
         rt.sched.charge(rt._c_rpc_reply_inject)
         rt.charge_copy(len(reply_raw))
         _inject_am(
@@ -210,6 +238,9 @@ def _execute_rpc_body(rt: Runtime, payload: tuple) -> None:
             "upcxx.rpc_reply",
             (token, reply_raw),
             nbytes=len(reply_raw) + _ENVELOPE_BYTES,
+            sid=rsid,
+            t_api=t_api,
+            parent=req_sid,
         )
 
     if isinstance(result, Future):
@@ -223,9 +254,11 @@ def _execute_rpc_body(rt: Runtime, payload: tuple) -> None:
 def _dispatch_rpc(rt: Runtime, msg) -> CompQItem:
     """Build the compQ item for an arrived RPC request."""
     payload = msg.payload
+    meta = msg.meta
+    req_sid = None if meta is None else meta.get("sid")
     cost = rt._c_rpc_dispatch + rt.copy_time(payload[5])
     return CompQItem.acquire(
-        cost, lambda: _execute_rpc_body(rt, payload), "rpc", nbytes=msg.nbytes
+        cost, lambda: _execute_rpc_body(rt, payload, req_sid), "rpc", nbytes=msg.nbytes
     )
 
 

@@ -46,14 +46,18 @@ class CompQItem:
     payload size, the time the operation became *active* (handed to the
     conduit), and the time its completion was staged for promotion.  They
     feed the op-lifecycle dwell histograms when metrics are enabled and
-    cost nothing otherwise.
+    cost nothing otherwise.  ``sid``/``t_polled`` are the causal-span
+    analogues: the operation's span correlation id and the time an
+    inbox-delivered item was polled (the compQ span starts there rather
+    than at wire arrival, so the inbox and compQ phases tile instead of
+    overlapping).
 
     Items are single-use (built, executed once by user progress, dead), so
     ``progress()`` recycles them through a free list; hot creators go
     through :meth:`acquire`.
     """
 
-    __slots__ = ("cost", "fn", "kind", "nbytes", "t_active", "t_staged")
+    __slots__ = ("cost", "fn", "kind", "nbytes", "t_active", "t_staged", "sid", "t_polled")
 
     _pool: list = []
     _POOL_MAX = 256
@@ -66,6 +70,7 @@ class CompQItem:
         nbytes: int = 0,
         t_active: Optional[float] = None,
         t_staged: Optional[float] = None,
+        sid: Optional[tuple] = None,
     ):
         self.cost = cost  # seconds, already platform-scaled
         self.fn = fn
@@ -73,6 +78,8 @@ class CompQItem:
         self.nbytes = nbytes
         self.t_active = t_active
         self.t_staged = t_staged
+        self.sid = sid
+        self.t_polled: Optional[float] = None
 
     @classmethod
     def acquire(
@@ -83,6 +90,7 @@ class CompQItem:
         nbytes: int = 0,
         t_active: Optional[float] = None,
         t_staged: Optional[float] = None,
+        sid: Optional[tuple] = None,
     ) -> "CompQItem":
         """Pooled constructor: reuse an executed item when one is free."""
         pool = cls._pool
@@ -94,8 +102,10 @@ class CompQItem:
             item.nbytes = nbytes
             item.t_active = t_active
             item.t_staged = t_staged
+            item.sid = sid
+            item.t_polled = None
             return item
-        return cls(cost, fn, kind, nbytes, t_active, t_staged)
+        return cls(cost, fn, kind, nbytes, t_active, t_staged, sid)
 
     @classmethod
     def release(cls, item: "CompQItem") -> None:
@@ -119,6 +129,7 @@ class World:
         segment_size: int = 32 * 1024 * 1024,
         seed: int = 0,
         metrics=None,
+        spans=None,
     ):
         self.sched = sched
         self.machine = machine
@@ -128,7 +139,11 @@ class World:
         self.seed = seed
         #: optional repro.util.metrics.Metrics collecting op-lifecycle data
         self.metrics = metrics if metrics is not None and metrics.enabled else None
-        self.conduit = Conduit(sched, machine, network, segment_size, metrics=self.metrics)
+        #: optional repro.util.spans.SpanBuffer collecting causal spans
+        self.spans = spans if spans is not None and spans.enabled else None
+        self.conduit = Conduit(
+            sched, machine, network, segment_size, metrics=self.metrics, spans=self.spans
+        )
         self.conduit._remote_cx_deliver = self._deliver_remote_cx
         self.n_ranks = sched.n_ranks
         self.runtimes: List[Optional["Runtime"]] = [None] * self.n_ranks
@@ -136,14 +151,16 @@ class World:
         self.team_uid_seq = 1  # 0 is reserved for world
 
     def _deliver_remote_cx(
-        self, dst_rank: int, fn, args, nbytes: int, t_active: float, arrival: float
+        self, dst_rank: int, fn, args, nbytes: int, t_active: float, arrival: float,
+        sid: Optional[tuple] = None,
     ) -> None:
         """Hand a remote_cx::as_rpc to ``dst_rank``'s runtime (network
         context, at the process that owns ``dst_rank``).
 
         Called by the conduit when a put's bytes land; the RPC is staged on
         the target's compQ and the target woken, exactly as if the target
-        had received it locally.
+        had received it locally.  ``sid`` threads the initiating put's
+        span correlation id through to the target-side execution spans.
         """
         target_rt = self.runtimes[dst_rank]
         item = CompQItem.acquire(
@@ -152,6 +169,7 @@ class World:
             "remote_cx_rpc",
             nbytes=nbytes,
             t_active=t_active,
+            sid=sid,
         )
         target_rt.gasnet_completed(item, arrival)
         self.sched.wake(dst_rank, arrival)
@@ -170,6 +188,11 @@ class Runtime:
         self.rng = RankRandom(world.seed, rank, salt="upcxx")
         #: per-rank metrics sink (None when observability is off)
         self.metrics = world.metrics.rank(rank) if world.metrics is not None else None
+        #: causal span buffer (None when span tracing is off)
+        self.spans = world.spans
+        #: per-rank span-id counter; sids are (rank, seq), minted in rank
+        #: context in program order, hence identical on every backend
+        self._span_seq = 0
         #: scheduler trace buffer (records only when the buffer is enabled)
         self._trace = world.sched.trace
         #: this rank's AM inbox (cached; hot-path polled every progress)
@@ -257,6 +280,11 @@ class Runtime:
         self._token_seq += 1
         return self._token_seq
 
+    def next_span_sid(self) -> tuple:
+        """Mint the next span correlation id (only called when spans on)."""
+        self._span_seq += 1
+        return (self.rank, self._span_seq)
+
     def enqueue_deferred(self, injector: Callable[[], None], kind: str = "op", nbytes: int = 0) -> None:
         """Put an operation in the deferred state (defQ).
 
@@ -315,6 +343,7 @@ class Runtime:
         if queue:
             now = sched.now()
             trace = self._trace
+            sp = self.spans
             dispatch = _AM_DISPATCH
             while queue and queue[0].arrival <= now:
                 inbox.n_polled += 1
@@ -333,6 +362,15 @@ class Runtime:
                     meta = msg.meta
                     if meta is not None:
                         item.t_active = meta.get("t_injected")
+                if sp is not None:
+                    meta = msg.meta
+                    msid = None if meta is None else meta.get("sid")
+                    if msid is not None:
+                        # inbox dwell: wire arrival -> this poll; the compQ
+                        # span then starts here so the two phases tile
+                        item.sid = msid
+                        item.t_polled = now
+                        sp.record(msg.arrival, now, self.rank, msid, "inbox", item.kind, msg.nbytes)
                 compQ.append(item)
                 # the handler captured what it needed from the envelope
                 AMMessage.release(msg)
@@ -353,10 +391,13 @@ class Runtime:
         compQ = self.compQ
         staged = self._gasnet_done
         trace = self._trace
+        sp = self.spans
         release = CompQItem.release
         while compQ:
             item = compQ.popleft()
             cost = item.cost
+            sid = item.sid if sp is not None else None
+            t_exec = sched.now() if sid is not None else 0.0
             if cost > 0:
                 sched.charge(cost)
             if m is not None:
@@ -364,6 +405,15 @@ class Runtime:
             if trace.enabled:
                 trace.record(sched.now(), self.rank, "exec", item.kind)
             item.fn()
+            if sid is not None:
+                # compQ dwell (attentiveness) then execution software; the
+                # exec span absorbs the item's CPU charge and its body
+                t_q = item.t_polled
+                if t_q is None:
+                    t_q = item.t_staged
+                if t_q is not None:
+                    sp.record(t_q, t_exec, self.rank, sid, "compq", item.kind, item.nbytes)
+                sp.record(t_exec, sched.now(), self.rank, sid, "exec_sw", item.kind, item.nbytes)
             release(item)
             # completions staged in network context while this item executed
             # (acks that arrived during its CPU charge or nested injections)

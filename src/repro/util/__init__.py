@@ -21,8 +21,10 @@ from repro.util.stats import Summary, summarize, geomean, speedup
 from repro.util.records import BenchSeries, BenchTable, format_table
 from repro.util.trace import TraceBuffer, TraceEvent
 from repro.util.metrics import DwellHistogram, Metrics, RankMetrics
+from repro.util.spans import PHASES, SpanBuffer
 from repro.util.trace_export import (
     chrome_trace,
+    chrome_trace_span_events,
     dumps_chrome_trace,
     dumps_metrics,
     export_chrome_trace,
@@ -51,7 +53,10 @@ __all__ = [
     "Metrics",
     "RankMetrics",
     "DwellHistogram",
+    "PHASES",
+    "SpanBuffer",
     "chrome_trace",
+    "chrome_trace_span_events",
     "dumps_chrome_trace",
     "dumps_metrics",
     "export_chrome_trace",

@@ -71,6 +71,32 @@ class DwellHistogram:
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (seconds) from the log2 buckets.
+
+        Linearly interpolates between the edges of the bucket the target
+        count lands in (rather than reporting the bucket upper bound),
+        then clamps into the exact observed ``[min, max]`` range.  Returns
+        0.0 for an empty histogram.
+        """
+        if self.n == 0:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        target = self.n * (q / 100.0)
+        seen = 0
+        value = self.maximum
+        for i in sorted(self.buckets):
+            count = self.buckets[i]
+            if seen + count >= target:
+                lo_ns = 0.0 if i == 0 else float(1 << (i - 1))
+                hi_ns = 1.0 if i == 0 else float(1 << i)
+                frac = (target - seen) / count
+                value = (lo_ns + frac * (hi_ns - lo_ns)) * 1e-9
+                break
+            seen += count
+        return min(max(value, self.minimum), self.maximum)
+
     def as_dict(self) -> dict:
         return {
             "n": self.n,
@@ -78,6 +104,9 @@ class DwellHistogram:
             "mean_s": self.mean,
             "min_s": 0.0 if self.minimum is None else self.minimum,
             "max_s": 0.0 if self.maximum is None else self.maximum,
+            "p50_s": self.percentile(50),
+            "p95_s": self.percentile(95),
+            "p99_s": self.percentile(99),
             # [lower bound of bucket in ns, count], ascending
             "buckets": [
                 [0 if i == 0 else 1 << (i - 1), self.buckets[i]] for i in sorted(self.buckets)

@@ -22,11 +22,30 @@ class Summary:
     maximum: float
     median: float
     stdev: float
+    # tail percentiles (linear interpolation between order statistics);
+    # defaulted so older call sites constructing Summary directly still work
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     @property
     def best(self) -> float:
         """Alias for ``minimum`` (paper convention: best == lowest time)."""
         return self.minimum
+
+
+def _percentile_sorted(xs: Sequence[float], q: float) -> float:
+    """``q``-th percentile of a sorted sample, linearly interpolated
+    between neighboring order statistics (numpy's default convention)."""
+    n = len(xs)
+    if n == 1:
+        return xs[0]
+    pos = (n - 1) * (q / 100.0)
+    lo = int(pos)
+    frac = pos - lo
+    if lo + 1 >= n:
+        return xs[-1]
+    return xs[lo] + frac * (xs[lo + 1] - xs[lo])
 
 
 def summarize(samples: Sequence[float]) -> Summary:
@@ -65,6 +84,9 @@ def summarize(samples: Sequence[float]) -> Summary:
         maximum=xs[-1],
         median=median,
         stdev=math.sqrt(var),
+        p50=_percentile_sorted(xs, 50),
+        p95=_percentile_sorted(xs, 95),
+        p99=_percentile_sorted(xs, 99),
     )
 
 

@@ -13,6 +13,13 @@ lane (tid) per rank:
 - metrics queue-depth samples become counter ("C") tracks, one per rank,
   plotting defQ/actQ/compQ/staged depths over time.
 
+Sharded runs can pass ``shard_of`` (rank -> shard id) so each shard gets
+its own Perfetto *process* (pid) instead of all ranks collapsing into one
+track group; ``process_name``/``thread_name`` metadata events label the
+tracks.  :func:`chrome_trace_span_events` renders a
+:class:`~repro.util.spans.SpanBuffer` the same way, one "X" slice per
+lifecycle phase.
+
 Timestamps are microseconds of *simulated* time.  Export is a pure
 function of the inputs: two same-seed runs produce byte-identical JSON
 (pinned by ``tests/test_examples_determinism.py``).
@@ -21,7 +28,7 @@ function of the inputs: two same-seed runs produce byte-identical JSON
 from __future__ import annotations
 
 import json
-from typing import IO, List, Optional, Union
+from typing import IO, Dict, List, Optional, Sequence, Union
 
 from repro.util.metrics import Metrics, QUEUE_NAMES
 from repro.util.trace import TraceBuffer
@@ -30,16 +37,57 @@ from repro.util.trace import TraceBuffer
 _US = 1e6
 
 
-def chrome_trace_events(trace: TraceBuffer, metrics: Optional[Metrics] = None) -> List[dict]:
-    """Build the ``traceEvents`` list (one lane per rank)."""
+def _pid_of(shard_of: Optional[Sequence[int]], rank: int) -> int:
+    if shard_of is None:
+        return 0
+    try:
+        return shard_of[rank]
+    except (IndexError, KeyError):
+        return 0
+
+
+def _meta_events(
+    ranks: Sequence[int], shard_of: Optional[Sequence[int]]
+) -> List[dict]:
+    """process_name / thread_name metadata for every (pid, tid) in use."""
+    events: List[dict] = []
+    pids: Dict[int, None] = {}
+    for r in ranks:
+        pids.setdefault(_pid_of(shard_of, r), None)
+    for pid in sorted(pids):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"shard {pid}" if shard_of is not None else "simulation"},
+            }
+        )
+    for r in ranks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _pid_of(shard_of, r),
+                "tid": r,
+                "args": {"name": f"rank {r}"},
+            }
+        )
+    return events
+
+
+def chrome_trace_events(
+    trace: TraceBuffer,
+    metrics: Optional[Metrics] = None,
+    shard_of: Optional[Sequence[int]] = None,
+) -> List[dict]:
+    """Build the ``traceEvents`` list (one process per shard, lane per rank)."""
     events: List[dict] = []
     ranks = sorted({ev.rank for ev in trace})
     if metrics is not None:
         ranks = sorted(set(ranks) | {rm.rank for rm in metrics.ranks})
-    for r in ranks:
-        events.append(
-            {"ph": "M", "name": "thread_name", "pid": 0, "tid": r, "args": {"name": f"rank {r}"}}
-        )
+    events.extend(_meta_events(ranks, shard_of))
 
     open_block: dict = {}
     for ev in trace:
@@ -47,7 +95,7 @@ def chrome_trace_events(trace: TraceBuffer, metrics: Optional[Metrics] = None) -
             # an unmatched earlier block (abort path) degrades to an instant
             prev = open_block.pop(ev.rank, None)
             if prev is not None:
-                events.append(_instant(prev))
+                events.append(_instant(prev, shard_of))
             open_block[ev.rank] = ev
         elif ev.kind == "resume" and ev.rank in open_block:
             b = open_block.pop(ev.rank)
@@ -56,44 +104,45 @@ def chrome_trace_events(trace: TraceBuffer, metrics: Optional[Metrics] = None) -
                     "ph": "X",
                     "name": b.detail or "blocked",
                     "cat": "sched",
-                    "pid": 0,
+                    "pid": _pid_of(shard_of, ev.rank),
                     "tid": ev.rank,
                     "ts": b.time * _US,
                     "dur": (ev.time - b.time) * _US,
                 }
             )
         else:
-            events.append(_instant(ev))
+            events.append(_instant(ev, shard_of))
     for ev in open_block.values():
-        events.append(_instant(ev))
+        events.append(_instant(ev, shard_of))
 
     if metrics is not None:
         for rm in metrics.ranks:
             name = f"rank {rm.rank} queues"
+            pid = _pid_of(shard_of, rm.rank)
             for sample in rm.queue_samples:
                 events.append(
                     {
                         "ph": "C",
                         "name": name,
                         "cat": "queues",
-                        "pid": 0,
+                        "pid": pid,
                         "tid": rm.rank,
                         "ts": sample[0] * _US,
                         "args": dict(zip(QUEUE_NAMES, sample[1:])),
                     }
                 )
 
-    events.sort(key=lambda e: (e.get("ts", -1.0), e["tid"], e["ph"], e["name"]))
+    events.sort(key=lambda e: (e.get("ts", -1.0), e["pid"], e["tid"], e["ph"], e["name"]))
     return events
 
 
-def _instant(ev) -> dict:
+def _instant(ev, shard_of: Optional[Sequence[int]] = None) -> dict:
     out = {
         "ph": "i",
         "s": "t",
         "name": ev.kind,
         "cat": "sim",
-        "pid": 0,
+        "pid": _pid_of(shard_of, ev.rank),
         "tid": ev.rank,
         "ts": ev.time * _US,
     }
@@ -102,23 +151,70 @@ def _instant(ev) -> dict:
     return out
 
 
-def chrome_trace(trace: TraceBuffer, metrics: Optional[Metrics] = None) -> dict:
+def chrome_trace_span_events(
+    spans, shard_of: Optional[Sequence[int]] = None
+) -> List[dict]:
+    """Render a :class:`~repro.util.spans.SpanBuffer` as "X" slice events.
+
+    One slice per lifecycle phase, named ``kind:phase``, on the lane of
+    the rank whose resource the phase describes; the correlation id and
+    causal parent ride in ``args`` so Perfetto's query view can join the
+    chains.
+    """
+    records = spans.canonical_records()
+    ranks = sorted({r[2] for r in records})
+    events = _meta_events(ranks, shard_of)
+    for t0, t1, rank, sid, phase, kind, nbytes, parent in records:
+        args = {"sid": f"r{sid[0]}#{sid[1]}", "nbytes": nbytes}
+        if parent is not None:
+            args["parent"] = f"r{parent[0]}#{parent[1]}"
+        events.append(
+            {
+                "ph": "X",
+                "name": f"{kind}:{phase}",
+                "cat": "span",
+                "pid": _pid_of(shard_of, rank),
+                "tid": rank,
+                "ts": t0 * _US,
+                "dur": (t1 - t0) * _US,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e.get("ts", -1.0), e["pid"], e["tid"], e["ph"], e["name"]))
+    return events
+
+
+def chrome_trace(
+    trace: TraceBuffer,
+    metrics: Optional[Metrics] = None,
+    shard_of: Optional[Sequence[int]] = None,
+) -> dict:
     """The full Chrome Trace Event JSON document."""
-    return {"displayTimeUnit": "ms", "traceEvents": chrome_trace_events(trace, metrics)}
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(trace, metrics, shard_of),
+    }
 
 
-def dumps_chrome_trace(trace: TraceBuffer, metrics: Optional[Metrics] = None) -> str:
+def dumps_chrome_trace(
+    trace: TraceBuffer,
+    metrics: Optional[Metrics] = None,
+    shard_of: Optional[Sequence[int]] = None,
+) -> str:
     """Deterministic JSON text of the trace (byte-stable across runs)."""
-    return json.dumps(chrome_trace(trace, metrics), sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        chrome_trace(trace, metrics, shard_of), sort_keys=True, separators=(",", ":")
+    )
 
 
 def export_chrome_trace(
     dest: Union[str, IO[str]],
     trace: TraceBuffer,
     metrics: Optional[Metrics] = None,
+    shard_of: Optional[Sequence[int]] = None,
 ) -> Union[str, IO[str]]:
     """Write the trace JSON to ``dest`` (a path or open text file)."""
-    text = dumps_chrome_trace(trace, metrics)
+    text = dumps_chrome_trace(trace, metrics, shard_of)
     if isinstance(dest, str):
         with open(dest, "w") as fh:
             fh.write(text)

@@ -491,3 +491,118 @@ def test_idle_peer_reactivation_three_way_bit_identical():
     got = _all_backends(_mixed_collectives_run)
     assert got["coroutines"] == got["threads"]
     assert got["coroutines"] == got["sharded"]
+
+
+# ----------------------------------------------------- causal span tracing
+def _span_mix_run(backend):
+    """RMA + RPC mix with span tracing on; returns (results, fingerprint,
+    n_spans).  Spans must be bit-identical on every backend: sids are
+    minted per-rank, records are canonically merged, and the fingerprint
+    is a content hash (PYTHONHASHSEED-independent)."""
+    from repro.util.spans import SpanBuffer
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        peer = (me + 1) % n
+        cell = upcxx.new_array(np.uint8, 4096)
+        cells = [upcxx.broadcast(cell, root=r).wait() for r in range(n)]
+        upcxx.barrier()
+        out = []
+        for i in range(3):
+            upcxx.rput(bytes(256 * (i + 1)), cells[peer]).wait()
+            got = upcxx.rget(cells[peer], 16).wait()
+            out.append(int(got.sum()))
+        answer = upcxx.rpc(peer, lambda a, b: a + b, me, 7).wait()
+        out.append(answer)
+        upcxx.barrier()
+        return (tuple(out), upcxx.sim_now())
+
+    spans = SpanBuffer()
+    results = upcxx.run_spmd(body, 4, platform="haswell", ppn=2, spans=spans, backend=backend)
+    return results, spans.fingerprint(), len(spans)
+
+
+def test_span_fingerprints_three_way_bit_identical():
+    got = _all_backends(_span_mix_run)
+    res_c, fp_c, n_c = got["coroutines"]
+    res_t, fp_t, n_t = got["threads"]
+    res_s, fp_s, n_s = got["sharded"]
+    assert res_c == res_t == res_s  # simulated results first: same physics
+    assert n_c > 0
+    assert n_c == n_t == n_s
+    assert fp_c == fp_t == fp_s  # span streams bit-identical across backends
+
+
+def test_spans_off_by_default_leaves_times_unchanged():
+    """Enabling span tracing must not perturb a single simulated time."""
+    from repro.util.spans import SpanBuffer
+
+    def run(spans):
+        def body():
+            me = upcxx.rank_me()
+            landing = upcxx.new_array(np.uint8, 1024)
+            dest = upcxx.broadcast(landing, root=1).wait()
+            upcxx.barrier()
+            if me == 0:
+                for _ in range(3):
+                    upcxx.rput(bytes(512), dest).wait()
+            upcxx.barrier()
+            return upcxx.sim_now()
+
+        return upcxx.run_spmd(body, 2, platform="haswell", ppn=1, spans=spans)
+
+    base = run(None)
+    traced = run(SpanBuffer())
+    disabled = run(SpanBuffer(enabled=False))
+    assert traced == base
+    assert disabled == base
+
+
+# ------------------------------------- sharded metrics merge (satellite)
+def _metrics_mix_run(backend):
+    """DHT-flavored run with metrics on; returns (results, metrics)."""
+    from repro.apps.dht import DhtRmaLz
+    from repro.util.metrics import Metrics
+
+    def body():
+        dht = DhtRmaLz()
+        rng = upcxx.runtime_here().rng.spawn("dht-bench")
+        payload = bytes(1024)
+        upcxx.barrier()
+        for _ in range(4):
+            dht.insert(rng.key64(), payload).wait()
+        upcxx.barrier()
+        return upcxx.sim_now()
+
+    metrics = Metrics()
+    results = upcxx.run_spmd(
+        body, 8, platform="haswell", ppn=4, metrics=metrics, backend=backend
+    )
+    return results, metrics
+
+
+def test_sharded_metrics_merge_matches_coroutines():
+    """Metrics collected in forked shard workers and merged at the parent
+    must equal the single-process collection exactly: same per-rank
+    queue-depth series, same attentiveness gaps, byte-identical export."""
+    from repro.util.trace_export import dumps_metrics
+
+    res_c, m_c = _metrics_mix_run("coroutines")
+    with _shards(2):
+        res_s, m_s = _metrics_mix_run("sharded")
+    assert res_c == res_s
+    # the headline attentiveness number survives the merge bit-for-bit
+    gap_c = m_c.max_attentiveness_gap()
+    assert gap_c > 0.0
+    assert m_s.max_attentiveness_gap() == gap_c
+    # every rank's queue-depth series made it home from its shard
+    ranks_c = {rm.rank: rm for rm in m_c.ranks}
+    ranks_s = {rm.rank: rm for rm in m_s.ranks}
+    assert set(ranks_s) == set(ranks_c) == set(range(8))
+    for r in range(8):
+        assert len(ranks_s[r].queue_samples) > 0
+        assert ranks_s[r].queue_samples == ranks_c[r].queue_samples
+        assert ranks_s[r].max_gap == ranks_c[r].max_gap
+    # and the full canonical export is byte-identical
+    assert dumps_metrics(m_s) == dumps_metrics(m_c)

@@ -53,7 +53,42 @@ class TestDwellHistogram:
 
     def test_empty(self):
         d = DwellHistogram().as_dict()
-        assert d == {"n": 0, "total_s": 0.0, "mean_s": 0.0, "min_s": 0.0, "max_s": 0.0, "buckets": []}
+        assert d == {
+            "n": 0,
+            "total_s": 0.0,
+            "mean_s": 0.0,
+            "min_s": 0.0,
+            "max_s": 0.0,
+            "p50_s": 0.0,
+            "p95_s": 0.0,
+            "p99_s": 0.0,
+            "buckets": [],
+        }
+        # empty-histogram aggregates are defined (0.0), never a raise
+        h = DwellHistogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = DwellHistogram()
+        # 100 samples, all in the [512, 1024) ns bucket
+        for _ in range(100):
+            h.add(600e-9)
+        p50 = h.percentile(50)
+        # linear interpolation: halfway through the bucket (768 ns), then
+        # clamped into the observed [600, 600] ns range -> exactly 600 ns
+        assert p50 == pytest.approx(600e-9)
+        # spread across two buckets: p50 falls inside the first, strictly
+        # between its edges (not snapped to the upper bound)
+        h2 = DwellHistogram()
+        for _ in range(60):
+            h2.add(300e-9)  # [256, 512) bucket
+        for _ in range(40):
+            h2.add(900e-9)  # [512, 1024) bucket
+        p50 = h2.percentile(50)
+        assert 256e-9 < p50 < 512e-9
+        assert h2.percentile(0) == pytest.approx(300e-9)   # clamped to min
+        assert h2.percentile(100) == pytest.approx(900e-9)  # clamped to max
 
 
 class TestQueueSampling:
