@@ -53,6 +53,10 @@ class _Endpoint:
         "n_ams",
         "n_amos",
         "bytes_out",
+        "n_retx",
+        "n_dropped",
+        "n_dup",
+        "n_acks",
     )
 
     def __init__(self, rank: int, segment_size: int):
@@ -69,6 +73,12 @@ class _Endpoint:
         self.n_ams = 0
         self.n_amos = 0
         self.bytes_out = 0
+        # reliability-layer counters (all attributed to the initiating
+        # endpoint, even for ack frames flowing the other way)
+        self.n_retx = 0
+        self.n_dropped = 0
+        self.n_dup = 0
+        self.n_acks = 0
 
 
 #: atomic ops supported by the simulated NIC (name -> (applies, returns_old))
@@ -97,6 +107,7 @@ class Conduit:
         segment_size: int = 32 * 1024 * 1024,
         metrics=None,
         spans=None,
+        faults=None,
     ):
         if machine.n_ranks < sched.n_ranks:
             raise ValueError(
@@ -111,6 +122,11 @@ class Conduit:
         #: ops that carry a ``span`` correlation id record their NIC and
         #: wire phases here (passive: no clock reads, no event posts)
         self.spans = spans if spans is not None and spans.enabled else None
+        #: optional repro.sim.faults.FaultPlan; when set, every op routes
+        #: through the reliable-delivery layer (seq/ack/retransmit)
+        self._faults = faults
+        #: per-(sender, receiver) channel state: [next_seq, last_commit_time]
+        self._rel_chan: dict = {}
         self.endpoints = [_Endpoint(r, segment_size) for r in range(sched.n_ranks)]
         # hot-path lookup tables: rank -> node (replaces machine.same_node
         # calls per op), the two propagation latencies, and a memo of
@@ -274,6 +290,332 @@ class Conduit:
             sp.record(done, arrival, src, span, "wire", kind, nbytes)
         return done, arrival
 
+    # ------------------------------------------------- reliable delivery
+    # With a FaultPlan bound, every conduit op becomes a *reliable channel*
+    # transfer: per-(sender,receiver) sequence numbers, receipt acks, and
+    # timeout + exponential-backoff retransmission, with in-order commit at
+    # the receiver.  Because every fault decision is a pure hash of
+    # (plan seed, channel, seq, attempt) — see repro.sim.faults — the whole
+    # retransmit ladder is computable at send time: the sender charges each
+    # attempt to its NIC (occupancy, backpressure, metrics, retry spans)
+    # and then posts exactly ONE commit event and one completion, exactly
+    # mirroring the fault-free event structure.  That is what keeps a
+    # zero-fault plan bit-identical to ``faults=None`` and fault runs
+    # bit-identical across all three scheduler backends.
+    def _rel_ladder(
+        self,
+        snd: int,
+        rcv: int,
+        nbytes: int,
+        path: str,
+        start: float,
+        occ_scale: float,
+        span,
+        kind: str,
+        ack_lat: float,
+        phases: tuple,
+    ):
+        """Run one reliable-channel transfer analytically.
+
+        Charges every transmission attempt to ``snd``'s NIC and returns
+        ``(done0, commit_at, ack_recv)``:
+
+        - ``done0``     — injection-done time of the *first* attempt
+          (source-buffer-reusable point, e.g. AM source completion);
+        - ``commit_at`` — when the frame commits in-order at the receiver
+          (``None`` if the receiver crashed before any attempt landed);
+        - ``ack_recv``  — when the sender observes the commit acknowledged
+          (``None`` if no ack ever survived, e.g. receiver died mid-ladder).
+        """
+        plan = self._faults
+        ep = self.endpoints[snd]
+        chan = self._rel_chan.get((snd, rcv))
+        if chan is None:
+            chan = self._rel_chan[(snd, rcv)] = [0, 0.0]
+        seq = chan[0]
+        chan[0] = seq + 1
+        node = self._node
+        same = node[snd] == node[rcv]
+        key = (nbytes, path, same)
+        occ = self._occ_cache.get(key)
+        if occ is None:
+            occ = self._occ_cache[key] = self.network.occupancy(nbytes, path, same)
+        occ *= occ_scale
+        lat = self._lat_shm if same else self._lat_net
+        rto = plan.rto_for(lat, ack_lat)
+        cutoff = plan.crash_cutoff(rcv)
+        mrank = self.metrics.rank(snd) if self.metrics is not None else None
+        sp = self.spans if span is not None else None
+        inf = float("inf")
+        acked_at = inf
+        first_arrival = None
+        done0 = done = start
+        n_drop = n_dup = n_ack = 0
+        max_retx = plan.max_retx
+        t = start
+        i = 0
+        while True:
+            if i > 0:
+                # exponential backoff from the previous injection's end
+                t = done + rto * (2.0 ** (i - 1))
+                if acked_at <= t or i > max_retx:
+                    break
+            begin = t if t > ep.nic_free_at else ep.nic_free_at
+            begin = plan.stall_until(snd, begin)
+            done = begin + occ
+            ep.nic_free_at = done
+            ep.bytes_out += nbytes
+            if mrank is not None:
+                mrank.nic_injected(nbytes, occ, begin - t)
+            if sp is not None:
+                if i == 0:
+                    sp.record(t, begin, snd, span, phases[0], kind, nbytes)
+                    sp.record(begin, done, snd, span, phases[1], kind, nbytes)
+                    sp.record(done, done + lat, snd, span, phases[2], kind, nbytes)
+                else:
+                    sp.record(t, done, snd, span, "retry", kind, nbytes)
+            if i == 0:
+                done0 = done
+            if plan.drops_frame(snd, rcv, seq, i):
+                n_drop += 1
+            else:
+                arrival = done + lat + plan.jitter_of(snd, rcv, seq, i)
+                if arrival <= cutoff:
+                    if first_arrival is None or arrival < first_arrival:
+                        first_arrival = arrival
+                    if plan.duplicates(snd, rcv, seq, i):
+                        n_dup += 1
+                    if plan.drops_ack(snd, rcv, seq, i):
+                        n_drop += 1
+                    else:
+                        n_ack += 1
+                        ack_at = arrival + ack_lat + plan.ack_jitter_of(snd, rcv, seq, i)
+                        if ack_at < acked_at:
+                            acked_at = ack_at
+            i += 1
+        if first_arrival is None:
+            commit_at = None
+        else:
+            # in-order commit: a late first delivery (jitter/retransmit)
+            # cannot overtake an earlier frame already committed on this
+            # channel; fault-free arrivals are already nondecreasing, so
+            # the clamp is a no-op then
+            last = chan[1]
+            commit_at = first_arrival if first_arrival > last else last
+            chan[1] = commit_at
+        if commit_at is not None and acked_at < inf:
+            ack_recv = commit_at + ack_lat
+            if acked_at > ack_recv:
+                ack_recv = acked_at
+        else:
+            ack_recv = None
+        ep.n_retx += i - 1
+        ep.n_dropped += n_drop
+        ep.n_dup += n_dup
+        ep.n_acks += n_ack
+        if mrank is not None:
+            mrank.rel_update(i - 1, n_drop, n_dup, n_ack)
+        return done0, commit_at, ack_recv
+
+    def _rel_put(self, src, dst, dst_off, data, path, occ_scale, remote_rpc, span):
+        """Reliable-mode put: same event structure as the fault-free path,
+        with commit/ack times produced by the retransmit ladder."""
+        data = bytes(data)
+        nbytes = len(data)
+        sched = self.sched
+        now = sched.now()
+        self.endpoints[src].n_puts += 1
+        handle = Handle(("put", src, dst, nbytes))
+        node = self._node
+        ack_lat = self._lat_shm if node[src] == node[dst] else self._lat_net
+        _, commit_at, ack_recv = self._rel_ladder(
+            src, dst, nbytes, path, now, occ_scale, span,
+            "put", ack_lat, ("nic_wait", "nic_occ", "wire"),
+        )
+        if span is not None and self.spans is not None and ack_recv is not None:
+            self.spans.record(ack_recv - ack_lat, ack_recv, src, span, "ack_wire", "put", nbytes)
+        if commit_at is None:
+            # receiver crashed before any attempt landed; the op can never
+            # complete — crash detection (RankDeadError) unblocks the caller
+            return handle
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, commit_at, "put",
+                (src, dst, dst_off, data, hid, ack_recv, remote_rpc, nbytes, span),
+            )
+            return handle
+        dst_seg = self.endpoints[dst].segment
+
+        def commit_and_ack():
+            dst_seg.write(dst_off, data)
+            if remote_rpc is not None:
+                fn, args, t_active = remote_rpc
+                self._remote_cx_deliver(dst, fn, args, nbytes, t_active, commit_at, span)
+            if ack_recv is not None:
+                sched.post_at(ack_recv, lambda: handle.complete(ack_recv))
+
+        sched.post_at(commit_at, commit_and_ack)
+        return handle
+
+    def _rel_get_service(self, src, dst, dst_off, nbytes, path, occ_scale, span, req_commit, complete):
+        """Reliable-mode reply half of a get, run at the target at request
+        commit time: reads memory and streams the reply back over the
+        reverse channel's retransmit ladder."""
+        dst_ep = self.endpoints[dst]
+        data = bytes(dst_ep.segment.read(dst_off, nbytes))
+        node = self._node
+        ack_lat = self._lat_shm if node[src] == node[dst] else self._lat_net
+        _, commit_at, _ = self._rel_ladder(
+            dst, src, nbytes, path, req_commit, occ_scale, span,
+            "get", ack_lat, ("remote_nic_wait", "remote_occ", "wire_back"),
+        )
+        if commit_at is not None:
+            complete(commit_at, data)
+
+    def _rel_get(self, src, dst, dst_off, nbytes, path, occ_scale, span):
+        """Reliable-mode get: request rides the forward channel's ladder,
+        the reply the reverse channel's."""
+        sched = self.sched
+        now = sched.now()
+        self.endpoints[src].n_gets += 1
+        handle = Handle(("get", src, dst, nbytes))
+        node = self._node
+        req_lat = self._lat_shm if node[src] == node[dst] else self._lat_net
+        _, req_commit, _ = self._rel_ladder(
+            src, dst, self.network.header_bytes, PATH_FMA, now, 1.0, span,
+            "get", req_lat, ("nic_wait", "nic_occ", "wire"),
+        )
+        if req_commit is None:
+            return handle
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, req_commit, "get",
+                (src, dst, dst_off, nbytes, path, occ_scale, hid, span),
+            )
+            return handle
+
+        def service_request():
+            self._rel_get_service(
+                src, dst, dst_off, nbytes, path, occ_scale, span, req_commit,
+                lambda back, data: sched.post_at(
+                    back, lambda: handle.complete(back, data=data)
+                ),
+            )
+
+        sched.post_at(req_commit, service_request)
+        return handle
+
+    def _rel_am(self, src, dst, tag, payload, nbytes, path, token, meta, occ_scale, span):
+        """Reliable-mode active message: source completion at first
+        injection end, delivery at channel commit."""
+        sched = self.sched
+        now = sched.now()
+        self.endpoints[src].n_ams += 1
+        handle = Handle(("am", src, dst, tag, nbytes))
+        node = self._node
+        ack_lat = self._lat_shm if node[src] == node[dst] else self._lat_net
+        inj_done, commit_at, _ = self._rel_ladder(
+            src, dst, nbytes, path, now, occ_scale, span,
+            "am", ack_lat, ("nic_wait", "nic_occ", "wire"),
+        )
+        msg_meta = dict(meta) if meta else None
+        if self.metrics is not None:
+            if msg_meta is None:
+                msg_meta = {}
+            msg_meta["t_injected"] = now
+        if span is not None and self.spans is not None:
+            if msg_meta is None:
+                msg_meta = {}
+            msg_meta["sid"] = span
+        if commit_at is None:
+            sched.post_at(inj_done, lambda: handle.complete(inj_done))
+            return handle
+        if not self._is_local(dst):
+            self._shard.emit_envelope(
+                dst, commit_at, "am",
+                (src, dst, tag, payload, nbytes, token, msg_meta),
+            )
+            sched.post_at(inj_done, lambda: handle.complete(inj_done))
+            return handle
+        msg = AMMessage.acquire(src, dst, tag, payload, nbytes, commit_at, token, msg_meta)
+        inbox = self.endpoints[dst].inbox
+
+        def deliver():
+            inbox.deliver(msg)
+            sched.wake(dst, commit_at)
+
+        sched.post_at(commit_at, deliver)
+        sched.post_at(inj_done, lambda: handle.complete(inj_done))
+        return handle
+
+    def _rel_acc(self, src, dst, dst_off, arr, dt, op, path, occ_scale, span):
+        """Reliable-mode accumulate: applies at commit, completes at ack."""
+        nbytes = arr.nbytes
+        sched = self.sched
+        now = sched.now()
+        self.endpoints[src].n_amos += 1
+        handle = Handle(("acc", op, src, dst, nbytes))
+        ack_lat = self.network.latency(self.machine.same_node(src, dst))
+        _, commit_at, ack_recv = self._rel_ladder(
+            src, dst, nbytes, path, now, occ_scale, span,
+            "acc", ack_lat, ("nic_wait", "nic_occ", "wire"),
+        )
+        if span is not None and self.spans is not None and ack_recv is not None:
+            self.spans.record(ack_recv - ack_lat, ack_recv, src, span, "ack_wire", "acc", nbytes)
+        if commit_at is None:
+            return handle
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, commit_at, "acc",
+                (src, dst, dst_off, arr.tobytes(), dt.str, op, hid, ack_recv),
+            )
+            return handle
+        seg = self.endpoints[dst].segment
+
+        def apply_and_ack():
+            self._acc_apply(seg, dst_off, dt, arr, op)
+            if ack_recv is not None:
+                sched.post_at(ack_recv, lambda: handle.complete(ack_recv))
+
+        sched.post_at(commit_at, apply_and_ack)
+        return handle
+
+    def _rel_amo(self, src, dst, dst_off, op, dt, operands, span):
+        """Reliable-mode atomic: applies at commit, result returns at ack."""
+        sched = self.sched
+        now = sched.now()
+        self.endpoints[src].n_amos += 1
+        handle = Handle(("amo", op, src, dst))
+        amo_bytes = dt.itemsize + self.network.header_bytes
+        back_lat = self.network.latency(self.machine.same_node(src, dst))
+        _, commit_at, ack_recv = self._rel_ladder(
+            src, dst, amo_bytes, PATH_FMA, now, 1.0, span,
+            "amo", back_lat, ("nic_wait", "nic_occ", "wire"),
+        )
+        if span is not None and self.spans is not None and ack_recv is not None:
+            self.spans.record(ack_recv - back_lat, ack_recv, src, span, "ack_wire", "amo", dt.itemsize)
+        if commit_at is None:
+            return handle
+        if not self._is_local(dst):
+            hid = self._register_handle(handle)
+            self._shard.emit_envelope(
+                dst, commit_at, "amo",
+                (src, dst, dst_off, op, dt.str, operands, hid, ack_recv),
+            )
+            return handle
+        seg = self.endpoints[dst].segment
+
+        def apply():
+            old = self._amo_apply(seg, dst_off, dt, op, operands)
+            if ack_recv is not None:
+                sched.post_at(ack_recv, lambda: handle.complete(ack_recv, data=old))
+
+        sched.post_at(commit_at, apply)
+        return handle
+
     # ------------------------------------------------------------------- put
     def put_nb(
         self,
@@ -297,6 +639,8 @@ class Conduit:
         client's span correlation id; it also rides the cross-shard
         envelope so target-side effects stay correlated.
         """
+        if self._faults is not None:
+            return self._rel_put(src, dst, dst_off, data, path, occ_scale, remote_rpc, span)
         data = bytes(data)
         nbytes = len(data)
         sched = self.sched
@@ -337,7 +681,8 @@ class Conduit:
         if remote_rpc is not None:
             fn, args, t_active = remote_rpc
             self._remote_cx_deliver(dst, fn, args, nbytes, t_active, fire_time, span)
-        self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
+        if ack_time is not None:
+            self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
 
     # ------------------------------------------------------------------- get
     def get_nb(
@@ -355,6 +700,8 @@ class Conduit:
         The handle completes when the data lands back at ``src``; the bytes
         are available as ``handle.data``.
         """
+        if self._faults is not None:
+            return self._rel_get(src, dst, dst_off, nbytes, path, occ_scale, span)
         sched = self.sched
         now = sched.now()
         ep = self.endpoints[src]
@@ -404,6 +751,14 @@ class Conduit:
         """Target half of a cross-shard get: the destination NIC reads
         memory and streams the reply (network context, dst shard)."""
         src, dst, dst_off, nbytes, path, occ_scale, hid, span = meta
+        if self._faults is not None:
+            self._rel_get_service(
+                src, dst, dst_off, nbytes, path, occ_scale, span, fire_time,
+                lambda back, data: self._shard.emit_envelope(
+                    src, back, "cpl", (hid, True, data)
+                ),
+            )
+            return
         dst_ep = self.endpoints[dst]
         data = bytes(dst_ep.segment.read(dst_off, nbytes))
         begin = max(fire_time, dst_ep.nic_free_at)
@@ -445,6 +800,8 @@ class Conduit:
         rides the message metadata (``msg_meta["sid"]``) so the target's
         progress engine can correlate inbox dwell and dispatch.
         """
+        if self._faults is not None:
+            return self._rel_am(src, dst, tag, payload, nbytes, path, token, meta, occ_scale, span)
         sched = self.sched
         now = sched.now()
         ep = self.endpoints[src]
@@ -510,6 +867,8 @@ class Conduit:
             raise ValueError(f"unsupported accumulate op {op!r}")
         dt = np.dtype(dtype)
         arr = np.ascontiguousarray(np.asarray(data, dtype=dt))
+        if self._faults is not None:
+            return self._rel_acc(src, dst, dst_off, arr, dt, op, path, occ_scale, span)
         nbytes = arr.nbytes
         now = self.sched.now()
         ep = self.endpoints[src]
@@ -555,7 +914,8 @@ class Conduit:
         src, dst, dst_off, raw, dtstr, op, hid, ack_time = meta
         dt = np.dtype(dtstr)
         self._acc_apply(self.endpoints[dst].segment, dst_off, dt, np.frombuffer(raw, dtype=dt), op)
-        self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
+        if ack_time is not None:
+            self._shard.emit_envelope(src, ack_time, "cpl", (hid, False, None))
 
     # ------------------------------------------------------------------- AMO
     def amo(
@@ -578,6 +938,8 @@ class Conduit:
         if op not in _AMO_OPS:
             raise ValueError(f"unsupported atomic op {op!r}")
         dt = np.dtype(dtype)
+        if self._faults is not None:
+            return self._rel_amo(src, dst, dst_off, op, dt, operands, span)
         now = self.sched.now()
         ep = self.endpoints[src]
         ep.n_amos += 1
@@ -637,7 +999,8 @@ class Conduit:
         """Target half of a cross-shard atomic (dst shard)."""
         src, dst, dst_off, op, dtstr, operands, hid, done = meta
         old = self._amo_apply(self.endpoints[dst].segment, dst_off, np.dtype(dtstr), op, operands)
-        self._shard.emit_envelope(src, done, "cpl", (hid, True, old))
+        if done is not None:
+            self._shard.emit_envelope(src, done, "cpl", (hid, True, old))
 
     # ------------------------------------------------------------------ misc
     def wake_on(self, handle: Handle, rank: int) -> None:
@@ -652,4 +1015,8 @@ class Conduit:
             "ams": sum(e.n_ams for e in self.endpoints),
             "amos": sum(e.n_amos for e in self.endpoints),
             "bytes_out": sum(e.bytes_out for e in self.endpoints),
+            "frames_retransmitted": sum(e.n_retx for e in self.endpoints),
+            "frames_dropped": sum(e.n_dropped for e in self.endpoints),
+            "frames_duplicated": sum(e.n_dup for e in self.endpoints),
+            "acks": sum(e.n_acks for e in self.endpoints),
         }

@@ -73,7 +73,7 @@ import _thread
 from typing import Callable, List, Optional, Sequence
 
 from repro.sim.engine import EventQueue, _INF
-from repro.sim.errors import DeadlockError, RankFailure, SimAbort, SimError
+from repro.sim.errors import DeadlockError, RankCrashed, RankFailure, SimAbort, SimError
 from repro.util.trace import TraceBuffer
 
 # Rank states
@@ -159,16 +159,31 @@ class Scheduler:
         lines.append(f"pending events: {len(self._events)}; switches: {self.switches}")
         return "\n".join(lines)
 
+    def register_conduit(self, conduit) -> None:
+        """Conduits register here so ``stats()`` can fold in their
+        reliability-layer frame counters."""
+        self._conduits.append(conduit)
+
     def stats(self) -> dict:
         """Machine-readable run counters (perf harness / postmortems)."""
         ev = self._events.stats
-        return {
+        out = {
             "backend": self.backend,
             "n_ranks": self.n_ranks,
             "switches": self.switches,
             "events_posted": ev["posted"],
             "events_fired": ev["fired"],
         }
+        conduits = getattr(self, "_conduits", None)
+        if conduits:
+            for key in (
+                "frames_retransmitted",
+                "frames_dropped",
+                "frames_duplicated",
+                "acks",
+            ):
+                out[key] = sum(c.stats()[key] for c in conduits)
+        return out
 
 
 def _consume_pending_wakes(sched: Scheduler, me) -> bool:
@@ -319,6 +334,9 @@ class CoroutineScheduler(Scheduler):
         self._ready: list = []  # heap of (clock, rid, stamp)
         self._ready_version = 0  # bumped on every push (drain-loop cache key)
         self._failure: Optional[BaseException] = None
+        #: rank -> RankDeadError, filled by fault-injection crash events
+        self._dead_ranks: dict = {}
+        self._conduits: list = []
         self._n_done = 0
         self._running = False
         self._aborted = False
@@ -472,6 +490,10 @@ class CoroutineScheduler(Scheduler):
 
     def _retarget(self) -> None:
         """Recompute the fast-path horizon after a dispatch decision."""
+        if self._failure is not None:
+            # keep the fast path broken so every rank observes the abort
+            self._horizon = -1.0
+            return
         h = self.max_time
         eheap = self._eheap
         if eheap:
@@ -621,6 +643,8 @@ class CoroutineScheduler(Scheduler):
             ctl.result = self._fn(ctl.rid)
         except SimAbort:
             pass
+        except RankCrashed:
+            pass  # fault-injected death: the rank just stops (fail-stop)
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             if self._failure is None:
                 failure = RankFailure(ctl.rid, f"{type(exc).__name__}: {exc}")
@@ -646,6 +670,9 @@ class CoroutineScheduler(Scheduler):
         if self._aborted:
             return
         self._aborted = True
+        # break the charge()/checkpoint() fast path: a rank resumed mid-
+        # checkpoint must not keep running below a stale horizon
+        self._horizon = -1.0
         self._current = None
         for ctl in self._ranks:
             if ctl.state in (_BLOCKED, _READY):
@@ -696,6 +723,10 @@ class CoroutineScheduler(Scheduler):
                 ctl.thread.join(timeout=30.0)
         if self._failure is not None:
             raise self._failure
+        if self._dead_ranks:
+            # every survivor finished before the heartbeat timeout fired;
+            # the job still failed — a rank died (fail-stop semantics)
+            raise self._dead_ranks[min(self._dead_ranks)]
         return [ctl.result for ctl in self._ranks]
 
 
@@ -762,6 +793,9 @@ class ThreadScheduler(Scheduler):
         self._ready: list = []  # heap of (clock, rid, stamp)
         self._main_cond = threading.Condition(self._lock)
         self._failure: Optional[BaseException] = None
+        #: rank -> RankDeadError, filled by fault-injection crash events
+        self._dead_ranks: dict = {}
+        self._conduits: list = []
         self._n_done = 0
         self._running = False
         self.trace = trace if trace is not None else TraceBuffer(enabled=False)
@@ -967,6 +1001,8 @@ class ThreadScheduler(Scheduler):
             ctl.result = fn(ctl.rid)
         except SimAbort:
             pass
+        except RankCrashed:
+            pass  # fault-injected death: the rank just stops (fail-stop)
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             with self._lock:
                 if self._failure is None:
@@ -1027,6 +1063,10 @@ class ThreadScheduler(Scheduler):
 
         if self._failure is not None:
             raise self._failure
+        if self._dead_ranks:
+            # every survivor finished before the heartbeat timeout fired;
+            # the job still failed — a rank died (fail-stop semantics)
+            raise self._dead_ranks[min(self._dead_ranks)]
         return [ctl.result for ctl in self._ranks]
 
     def snapshot(self) -> str:

@@ -28,6 +28,30 @@ class RankFailure(SimError):
         self.rank = rank
 
 
+class RankDeadError(SimError):
+    """A simulated rank crashed (fault injection) and was detected dead.
+
+    Raised on surviving ranks once the heartbeat timeout expires.  The dead
+    rank id is available as :attr:`rank`; the crash and detection times are
+    embedded in the message so the verdict is reproducible bit-for-bit
+    across scheduler backends.
+    """
+
+    def __init__(self, rank: int, message: str):
+        super().__init__(message)
+        self.rank = rank
+
+
+class RankCrashed(BaseException):
+    """Internal control-flow exception unwinding a crashed rank's fiber.
+
+    Raised from inside the crashed rank's own progress path when its
+    simulated clock passes the fault plan's crash time.  Like
+    :class:`SimAbort` it derives from ``BaseException`` so user ``except
+    Exception`` blocks cannot resurrect a dead rank.
+    """
+
+
 class SimAbort(BaseException):
     """Internal control-flow exception used to unwind rank threads.
 

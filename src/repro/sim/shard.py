@@ -75,7 +75,7 @@ from repro.sim.coop import (
     Scheduler,
 )
 
-from repro.sim.errors import DeadlockError, RankFailure, SimError
+from repro.sim.errors import DeadlockError, RankDeadError, RankFailure, SimError
 from repro.util.trace import TraceBuffer
 
 #: environment override for the worker-process count
@@ -352,19 +352,63 @@ class _RemoteAbort(SimError):
 
 
 def _describe_failure(exc: BaseException):
-    return (type(exc).__name__, str(exc), getattr(exc, "rank", None))
+    cause = exc.__cause__
+    cause_desc = None
+    if cause is not None:
+        cls = type(cause)
+        cause_desc = (cls.__module__, cls.__qualname__, str(cause))
+    return (type(exc).__name__, str(exc), getattr(exc, "rank", None), cause_desc)
 
 
-def _rebuild_failure(kind: str, message: str, rank) -> BaseException:
+def _rebuild_cause(desc) -> Optional[BaseException]:
+    """Reconstruct a failure's ``__cause__`` from its shipped descriptor.
+
+    Exceptions don't pickle reliably (arbitrary attributes, live frames),
+    so workers ship ``(module, qualname, str)`` instead.  The class is
+    resolved from the already-imported module graph — workers are forked
+    from the fully-imported parent — which keeps ``isinstance`` checks and
+    the message intact for every builtin and library exception type.
+    """
+    if desc is None:
+        return None
+    mod, qual, msg = desc
+    cls = None
+    try:
+        obj: object = sys.modules.get(mod)
+        for part in qual.split("."):
+            obj = getattr(obj, part)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            cls = obj
+    except Exception:
+        cls = None
+    if cls is None:
+        return SimError(f"{mod}.{qual}: {msg}")
+    try:
+        exc = cls.__new__(cls)
+        exc.args = (msg,)
+        return exc
+    except Exception:
+        return SimError(f"{mod}.{qual}: {msg}")
+
+
+def _rebuild_failure(kind: str, message: str, rank, cause_desc=None) -> BaseException:
+    cause = _rebuild_cause(cause_desc)
     if kind == "RankFailure" and rank is not None:
         exc = RankFailure(rank, "")
         exc.args = (message,)
+        exc.__cause__ = cause
         return exc
+    if kind == "RankDeadError" and rank is not None:
+        return RankDeadError(rank, message)
     if kind == "DeadlockError":
         return DeadlockError(message)
     if kind == "SimError":
-        return SimError(message)
-    return SimError(f"{kind}: {message}")
+        exc = SimError(message)
+        exc.__cause__ = cause
+        return exc
+    exc = SimError(f"{kind}: {message}")
+    exc.__cause__ = cause
+    return exc
 
 
 # ======================================================================
@@ -666,6 +710,13 @@ class ShardedScheduler(CoroutineScheduler):
     def _worker_stats(self) -> dict:
         ev = self._events.stats
         chan = self._chan
+        n_retx = n_drop = n_dup = n_acks = 0
+        for c in self._conduits:
+            for ep in c.endpoints[self._local_lo : self._local_hi]:
+                n_retx += ep.n_retx
+                n_drop += ep.n_dropped
+                n_dup += ep.n_dup
+                n_acks += ep.n_acks
         return {
             "shard": self._shard_id,
             "ranks": [self._local_lo, self._local_hi],
@@ -680,6 +731,11 @@ class ShardedScheduler(CoroutineScheduler):
             "envelopes_received": 0 if chan is None else chan.n_env_recv,
             "pipe_bytes_sent": 0 if chan is None else chan.bytes_sent,
             "pipe_bytes_received": 0 if chan is None else chan.bytes_recv,
+            # reliability layer (fault injection), local endpoints only
+            "frames_retransmitted": n_retx,
+            "frames_dropped": n_drop,
+            "frames_duplicated": n_dup,
+            "acks": n_acks,
         }
 
     def _collect_metrics(self) -> dict:
@@ -746,6 +802,9 @@ class ShardedScheduler(CoroutineScheduler):
                     "stats": self._worker_stats(),
                     "metrics": self._collect_metrics(),
                     "spans": self._collect_spans(),
+                    # crashed local ranks whose heartbeat timeout never
+                    # fired (everyone else finished first): rank -> message
+                    "dead": {r: str(err) for r, err in self._dead_ranks.items()},
                 },
             )
         except _ShardDeadlock as exc:
@@ -865,8 +924,8 @@ class ShardedScheduler(CoroutineScheduler):
             (s, pl[1]) for s, pl in enumerate(payloads) if pl[0] == "fail"
         ]
         if failures:
-            kind, message, rank = failures[0][1]
-            self._failure = _rebuild_failure(kind, message, rank)
+            kind, message, rank, *rest = failures[0][1]
+            self._failure = _rebuild_failure(kind, message, rank, *rest)
             raise self._failure
         deadlock_lines = [ln for pl in payloads if pl[0] == "deadlock" for ln in pl[1]]
         if deadlock_lines:
@@ -885,8 +944,10 @@ class ShardedScheduler(CoroutineScheduler):
         metrics_merged: dict = {}
         trace_lists = []
         span_lists = []
+        dead_merged: dict = {}
         for pl in payloads:
             body = pl[1]
+            dead_merged.update(body.get("dead", {}))
             for rid, res in body["results"].items():
                 results[rid] = res
             st = body["stats"]
@@ -915,6 +976,11 @@ class ShardedScheduler(CoroutineScheduler):
                 if sp is not None:
                     sp.extend_canonical(span_lists)
                     break
+        if dead_merged:
+            # same verdict the single-process backends reach at run() end
+            rank = min(dead_merged)
+            self._failure = RankDeadError(rank, dead_merged[rank])
+            raise self._failure
         return results
 
     def stats(self) -> dict:
@@ -930,6 +996,10 @@ class ShardedScheduler(CoroutineScheduler):
             d["horizon_wait_s"] = sum(st.get("horizon_wait_s", 0.0) for st in ps)
             d["envelopes_exchanged"] = sum(st.get("envelopes_sent", 0) for st in ps)
             d["pipe_bytes"] = sum(st.get("pipe_bytes_sent", 0) for st in ps)
+            d["frames_retransmitted"] = sum(st.get("frames_retransmitted", 0) for st in ps)
+            d["frames_dropped"] = sum(st.get("frames_dropped", 0) for st in ps)
+            d["frames_duplicated"] = sum(st.get("frames_duplicated", 0) for st in ps)
+            d["acks"] = sum(st.get("acks", 0) for st in ps)
         return d
 
 

@@ -13,6 +13,7 @@ backpressure  NIC queueing behind earlier injections
 occupancy NIC injection occupancy (bytes streaming onto the wire)
 wire      propagation latency legs (request, reply, acks)
 attentiveness  waiting on a progress engine (inbox + compQ dwell)
+retry     reliability-layer retransmissions (fault injection)
 app       application time between operations (gaps on the path)
 ========  ==========================================================
 
@@ -40,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.util.spans import PHASES, SpanBuffer, _canon_key
 
 #: display order of attribution categories
-CATEGORIES = ["software", "backpressure", "occupancy", "wire", "attentiveness", "app"]
+CATEGORIES = ["software", "backpressure", "occupancy", "wire", "attentiveness", "retry", "app"]
 
 #: a critical-path segment: (t0, t1, category, phase, kind, sid-or-None)
 Segment = Tuple[float, float, str, str, str, Optional[tuple]]
@@ -112,7 +113,7 @@ def attribution(segments: Sequence[Segment]) -> Dict[str, float]:
 # ======================================================================
 # Instrumented workloads
 # ======================================================================
-def _run(body, ranks: int, ppn: int, backend: str, shards: Optional[int]):
+def _run(body, ranks: int, ppn: int, backend: str, shards: Optional[int], faults=None):
     """run_spmd with span tracing on; returns (results, spans, sched_stats)."""
     import repro.upcxx as upcxx
 
@@ -123,7 +124,8 @@ def _run(body, ranks: int, ppn: int, backend: str, shards: Optional[int]):
         if shards is not None:
             os.environ["REPRO_SIM_SHARDS"] = str(shards)
         results = upcxx.run_spmd(
-            body, ranks, ppn=ppn, spans=spans, backend=backend, sched_stats=sched_stats
+            body, ranks, ppn=ppn, spans=spans, backend=backend,
+            sched_stats=sched_stats, faults=faults,
         )
     finally:
         if shards is not None:
@@ -188,16 +190,17 @@ WORKLOADS = {
 
 
 def analyze_workload(
-    name: str, backend: str, shards: Optional[int] = None
+    name: str, backend: str, shards: Optional[int] = None, faults=None
 ) -> dict:
     """Run one workload on one backend and build its span diagnostics.
 
     Returns a JSON-ready dict: span fingerprint, critical-path segments
     over the workload's measurement window, per-category attribution, and
-    backend diagnostics (CMB window/stall counters for sharded runs).
+    backend diagnostics (CMB window/stall counters for sharded runs,
+    reliability frame counters when fault injection is on).
     """
     body, ranks, ppn = WORKLOADS[name]
-    results, spans, sched_stats = _run(body, ranks, ppn, backend, shards)
+    results, spans, sched_stats = _run(body, ranks, ppn, backend, shards, faults)
     window = next((r for r in results if r is not None), None)
     if window is None:
         raise RuntimeError(f"workload {name!r} returned no measurement window")
@@ -211,7 +214,9 @@ def analyze_workload(
         "events_fired": sched_stats.get("events_fired"),
     }
     for key in ("n_shards", "windows", "window_stall_s", "horizon_wait_s",
-                "envelopes_exchanged", "pipe_bytes"):
+                "envelopes_exchanged", "pipe_bytes",
+                "frames_dropped", "frames_duplicated", "frames_retransmitted",
+                "acks"):
         if key in sched_stats:
             diag[key] = sched_stats[key]
     shard_of = None
@@ -265,14 +270,23 @@ def _render_text(reports: List[dict], identical: bool) -> str:
             f"({100.0 * covered / total if total else 0.0:.2f}% of window)"
         )
         diag = rep["diagnostics"]
+        rel = (
+            f"{diag.get('frames_dropped', 0)} dropped / "
+            f"{diag.get('frames_duplicated', 0)} duplicated / "
+            f"{diag.get('frames_retransmitted', 0)} retransmitted frames"
+        )
         if diag.get("n_shards"):
             lines.append(
                 f"CMB: {diag.get('n_shards')} shards, {diag.get('windows')} windows, "
                 f"env-exchange stall {diag.get('window_stall_s', 0.0) * 1e3:.2f} ms, "
                 f"horizon wait {diag.get('horizon_wait_s', 0.0) * 1e3:.2f} ms, "
                 f"{diag.get('envelopes_exchanged', 0)} envelopes / "
-                f"{diag.get('pipe_bytes', 0)} pipe bytes"
+                f"{diag.get('pipe_bytes', 0)} pipe bytes, "
+                + rel
             )
+        elif any(diag.get(k) for k in
+                 ("frames_dropped", "frames_duplicated", "frames_retransmitted")):
+            lines.append("reliability: " + rel)
         segs = rep["critical_path"]
         lines.append(f"critical path: {len(segs)} segments; longest:")
         longest = sorted(segs, key=lambda s: s["t1"] - s["t0"], reverse=True)[:8]
@@ -292,11 +306,11 @@ def _render_text(reports: List[dict], identical: bool) -> str:
 
 
 def build_report(
-    workload: str, backends: Sequence[str], shards: Optional[int]
+    workload: str, backends: Sequence[str], shards: Optional[int], faults=None
 ) -> Tuple[dict, bool, List[dict]]:
     """Run ``workload`` on every backend; returns (doc, identical, reports)."""
     reports = [
-        analyze_workload(workload, b, shards if b == "sharded" else None)
+        analyze_workload(workload, b, shards if b == "sharded" else None, faults)
         for b in backends
     ]
     fps = {rep["backend"]: rep["fingerprint"] for rep in reports}
@@ -305,6 +319,7 @@ def build_report(
         "schema": "repro-span-report/1",
         "workload": workload,
         "backends": list(backends),
+        "faults": faults,
         "fingerprints": fps,
         "fingerprints_identical": identical,
         "reports": [
@@ -329,11 +344,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     ap.add_argument("--shards", type=int, default=None,
                     help="worker count for the sharded backend")
+    ap.add_argument("--faults", default=None,
+                    help='fault-plan spec, e.g. "seed=1,drop=0.1,jitter=1e-6" '
+                         "(see repro.sim.faults.FaultPlan.parse)")
     ap.add_argument("--format", choices=["text", "json", "perfetto"], default="text")
     ap.add_argument("--out", default=None, help="write output here instead of stdout")
     args = ap.parse_args(argv)
 
-    doc, identical, reports = build_report(args.workload, args.backends, args.shards)
+    doc, identical, reports = build_report(
+        args.workload, args.backends, args.shards, args.faults
+    )
 
     if args.format == "json":
         text = json.dumps(doc, sort_keys=True, indent=2)

@@ -15,6 +15,7 @@ from repro.gasnet.cpumodel import CpuModel, platform_cpu
 from repro.gasnet.machine import Machine
 from repro.gasnet.network import AriesNetwork, NetworkModel
 from repro.sim.coop import Scheduler, current_scheduler
+from repro.sim.faults import FaultPlan
 from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
 from repro.upcxx.errors import NotInSpmdError
 from repro.upcxx.runtime import Runtime, World, current_runtime
@@ -44,6 +45,7 @@ def run_spmd(
     spans=None,
     backend: Optional[str] = None,
     sched_stats: Optional[dict] = None,
+    faults=None,
 ) -> List[object]:
     """Run ``fn`` as an SPMD program on ``ranks`` simulated processes.
 
@@ -64,7 +66,15 @@ def run_spmd(
     coroutines).  Pass a dict as ``sched_stats`` to receive the
     scheduler's run counters (switches, events fired — see
     :meth:`Scheduler.stats`) after the run.
+
+    ``faults`` enables chaos injection: a :class:`repro.sim.faults.FaultPlan`,
+    a spec string (``"seed=1,drop=0.05,crash=2@1e-3"``), or a kwargs dict.
+    Defaults to ``$REPRO_FAULTS`` (off when unset).  With a plan active the
+    conduit runs in reliable-delivery mode — acks, timeouts, retransmits —
+    so UPC++-level semantics stay exactly-once; crashed ranks fail-stop and
+    survivors observe :class:`repro.sim.errors.RankDeadError`.
     """
+    faults = FaultPlan.resolve(faults)
     ppn = ppn if ppn is not None else default_ppn(platform)
     machine = Machine.for_ranks(ranks, ppn, name=platform)
     network = network if network is not None else AriesNetwork()
@@ -76,7 +86,8 @@ def run_spmd(
     if cfg is not None:
         cfg(machine, network)
     world = World(
-        sched, machine, network, cpu, costs, segment_size, seed, metrics=metrics, spans=spans
+        sched, machine, network, cpu, costs, segment_size, seed,
+        metrics=metrics, spans=spans, faults=faults,
     )
 
     def bootstrap(rank: int):

@@ -33,6 +33,7 @@ from repro.gasnet.cpumodel import CpuModel
 from repro.gasnet.machine import Machine
 from repro.gasnet.network import NetworkModel
 from repro.sim.coop import Scheduler, current_client, current_scheduler
+from repro.sim.errors import RankCrashed, RankDeadError
 from repro.sim.rng import RankRandom
 from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
 from repro.upcxx.errors import NotInSpmdError
@@ -130,6 +131,7 @@ class World:
         seed: int = 0,
         metrics=None,
         spans=None,
+        faults=None,
     ):
         self.sched = sched
         self.machine = machine
@@ -141,8 +143,11 @@ class World:
         self.metrics = metrics if metrics is not None and metrics.enabled else None
         #: optional repro.util.spans.SpanBuffer collecting causal spans
         self.spans = spans if spans is not None and spans.enabled else None
+        #: optional repro.sim.faults.FaultPlan (chaos injection)
+        self.faults = faults
         self.conduit = Conduit(
-            sched, machine, network, segment_size, metrics=self.metrics, spans=self.spans
+            sched, machine, network, segment_size, metrics=self.metrics,
+            spans=self.spans, faults=faults,
         )
         self.conduit._remote_cx_deliver = self._deliver_remote_cx
         self.n_ranks = sched.n_ranks
@@ -245,7 +250,52 @@ class Runtime:
         self.n_rpcs_executed = 0
         self.n_progress_calls = 0
 
+        #: simulated time at which this rank dies (fault injection); None
+        #: while alive.  Checked on every call into the library.
+        self._crash_at: Optional[float] = None
+        plan = world.faults
+        if plan is not None and rank in plan.crashes:
+            self._arm_crash(plan, plan.crashes[rank])
+
         world.runtimes[rank] = self
+
+    # ---------------------------------------------------------- fault crashes
+    def _arm_crash(self, plan, t_die: float) -> None:
+        """Schedule this rank's fail-stop death and its detection.
+
+        Two events, both posted in rank context at clock 0 (hence identical
+        on every backend and owned by this rank's shard):
+
+        - *die* at ``t_die``: marks the rank dead (fail-stop — the next call
+          into the library raises the internal :class:`RankCrashed` control
+          exception and the rank's fiber/thread simply stops) and records
+          the :class:`RankDeadError` for the end-of-run verdict.
+        - *detect* at ``t_die + detect_timeout``: the simulated heartbeat
+          timeout fires on the survivors; unless the run already failed,
+          the scheduler aborts every rank with :class:`RankDeadError` so
+          blocked collectives/waits never hang.
+        """
+        rank = self.rank
+        sched = self.sched
+        err = RankDeadError(
+            rank,
+            f"rank {rank} died at t={t_die!r} "
+            f"(heartbeat timeout after {plan.detect_timeout!r}s)",
+        )
+
+        def die() -> None:
+            self._crash_at = t_die
+            sched._dead_ranks[rank] = err
+            # kick the rank so a blocked fiber re-enters the library and
+            # observes its own death instead of sleeping forever
+            sched.wake(rank, t_die)
+
+        def detect() -> None:
+            if sched._failure is None:
+                sched._fail(err)
+
+        sched.post_at(t_die, die)
+        sched.post_at(t_die + plan.detect_timeout, detect)
 
     # --------------------------------------------------------------- charges
     def charge_sw(self, base_seconds: float) -> None:
@@ -318,6 +368,8 @@ class Runtime:
         Drains defQ into the conduit, promotes conduit completions into
         compQ, and moves due inbox AMs into compQ.  Does NOT execute compQ.
         """
+        if self._crash_at is not None:
+            raise RankCrashed(f"rank {self.rank} crashed at t={self._crash_at!r}")
         # ensure due network events have been delivered at our clock
         sched = self.sched
         sched.checkpoint()

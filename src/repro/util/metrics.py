@@ -146,6 +146,11 @@ class RankMetrics:
         self.nic_bytes = 0
         self.nic_occupancy = 0.0
         self.nic_backpressure = 0.0
+        # -- reliability layer (fault injection; attributed to initiator) ----
+        self.rel_retransmits = 0
+        self.rel_dropped = 0
+        self.rel_duplicated = 0
+        self.rel_acks = 0
 
     # ------------------------------------------------------------- recording
     def sample_queues(self, t: float, defq: int, actq: int, compq: int, staged: int) -> None:
@@ -218,6 +223,13 @@ class RankMetrics:
         self.nic_occupancy += occupancy
         self.nic_backpressure += backpressure
 
+    def rel_update(self, retransmits: int, dropped: int, duplicated: int, acks: int) -> None:
+        """One reliable-channel ladder finished for an op this rank sent."""
+        self.rel_retransmits += retransmits
+        self.rel_dropped += dropped
+        self.rel_duplicated += duplicated
+        self.rel_acks += acks
+
     # --------------------------------------------------------------- export
     def queue_series(self) -> Dict[str, List[List[float]]]:
         """Per-queue depth series, deduplicated per queue."""
@@ -265,6 +277,12 @@ class RankMetrics:
                 "bytes": self.nic_bytes,
                 "occupancy_s": self.nic_occupancy,
                 "backpressure_s": self.nic_backpressure,
+            },
+            "reliability": {
+                "retransmits": self.rel_retransmits,
+                "frames_dropped": self.rel_dropped,
+                "frames_duplicated": self.rel_duplicated,
+                "acks": self.rel_acks,
             },
         }
 

@@ -70,6 +70,9 @@ PHASES = {
     # waiting on the *target's* or initiator's progress engine
     "inbox": "attentiveness",
     "compq": "attentiveness",
+    # reliability layer: retransmission attempts (fault injection);
+    # one span per re-sent frame, [backoff fire, re-injection done]
+    "retry": "retry",
 }
 
 SpanRecord = Tuple[float, float, int, tuple, str, str, int, Optional[tuple]]

@@ -1,6 +1,15 @@
 """Failure-injection tests: errors raised deep inside the stack must
 surface cleanly (with rank attribution), never hang or corrupt the run,
-plus the new MPI-3 accumulate operations."""
+plus the new MPI-3 accumulate operations.
+
+``TestErrorPropagation`` runs on every scheduler backend: the error
+verdict — exception type, failing-rank attribution, and the original
+cause's type and message — must be identical whether the failing rank
+lives in-process (coroutines/threads) or in a forked shard worker
+(where the cause is reconstructed from a shipped descriptor)."""
+
+import os
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -10,8 +19,26 @@ from repro.mpisim import Win, comm_world, run_mpi
 from repro.sim.errors import DeadlockError, RankFailure
 
 
+@contextmanager
+def _backend_env(backend):
+    """Yield run_spmd/run_mpi kwargs for ``backend`` (2 workers if sharded)."""
+    from repro.sim.shard import SHARDS_ENV
+
+    old = os.environ.get(SHARDS_ENV)
+    if backend == "sharded":
+        os.environ[SHARDS_ENV] = "2"
+    try:
+        yield {"backend": backend}
+    finally:
+        if old is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = old
+
+
+@pytest.mark.parametrize("backend", ["coroutines", "threads", "sharded"])
 class TestErrorPropagation:
-    def test_exception_in_rpc_handler_surfaces(self):
+    def test_exception_in_rpc_handler_surfaces(self, backend):
         def bad_handler():
             raise RuntimeError("handler exploded")
 
@@ -20,21 +47,24 @@ class TestErrorPropagation:
                 upcxx.rpc(1, bad_handler).wait()
             upcxx.barrier()
 
-        with pytest.raises(RankFailure) as ei:
-            upcxx.run_spmd(body, 2)
+        with _backend_env(backend) as kw:
+            with pytest.raises(RankFailure) as ei:
+                upcxx.run_spmd(body, 2, **kw)
         # the failure is attributed to the EXECUTING rank (the target)
         assert ei.value.rank == 1
+        assert isinstance(ei.value.__cause__, RuntimeError)
         assert "handler exploded" in str(ei.value.__cause__)
 
-    def test_exception_in_then_callback_surfaces(self):
+    def test_exception_in_then_callback_surfaces(self, backend):
         def body():
             upcxx.make_future(1).then(lambda x: 1 / 0)
 
-        with pytest.raises(RankFailure) as ei:
-            upcxx.run_spmd(body, 1)
+        with _backend_env(backend) as kw:
+            with pytest.raises(RankFailure) as ei:
+                upcxx.run_spmd(body, 2, **kw)
         assert isinstance(ei.value.__cause__, ZeroDivisionError)
 
-    def test_exception_mid_collective_aborts_everyone(self):
+    def test_exception_mid_collective_aborts_everyone(self, backend):
         def body():
             me = upcxx.rank_me()
             upcxx.barrier()
@@ -44,30 +74,35 @@ class TestErrorPropagation:
             # the abort must unwind them rather than deadlock
             upcxx.barrier()
 
-        with pytest.raises(RankFailure) as ei:
-            upcxx.run_spmd(body, 4)
+        with _backend_env(backend) as kw:
+            with pytest.raises(RankFailure) as ei:
+                upcxx.run_spmd(body, 4, **kw)
         assert ei.value.rank == 2
+        assert isinstance(ei.value.__cause__, ValueError)
+        assert "rank 2 dies" in str(ei.value.__cause__)
 
-    def test_barrier_mismatch_is_detected_as_deadlock(self):
+    def test_barrier_mismatch_is_detected_as_deadlock(self, backend):
         def body():
             if upcxx.rank_me() == 0:
                 upcxx.barrier()  # nobody else joins
             # other ranks return immediately
 
-        with pytest.raises(DeadlockError):
-            upcxx.run_spmd(body, 3)
+        with _backend_env(backend) as kw:
+            with pytest.raises(DeadlockError):
+                upcxx.run_spmd(body, 3, **kw)
 
-    def test_mpi_recv_without_send_deadlocks_cleanly(self):
+    def test_mpi_recv_without_send_deadlocks_cleanly(self, backend):
         def body():
             comm = comm_world()
             if comm.rank == 0:
                 comm.recv(source=1, tag=1)  # never sent
 
-        with pytest.raises(DeadlockError) as ei:
-            run_mpi(body, 2)
+        with _backend_env(backend) as kw:
+            with pytest.raises(DeadlockError) as ei:
+                run_mpi(body, 2, **kw)
         assert "MPI_Waitall" in str(ei.value)
 
-    def test_segment_exhaustion_inside_rpc(self):
+    def test_segment_exhaustion_inside_rpc(self, backend):
         """An allocation failure inside an RPC handler propagates with the
         executing rank's id."""
         from repro.gasnet.segment import SegmentAllocationError
@@ -80,8 +115,9 @@ class TestErrorPropagation:
                 upcxx.rpc(1, hog).wait()
             upcxx.barrier()
 
-        with pytest.raises(RankFailure) as ei:
-            upcxx.run_spmd(body, 2)
+        with _backend_env(backend) as kw:
+            with pytest.raises(RankFailure) as ei:
+                upcxx.run_spmd(body, 2, **kw)
         assert ei.value.rank == 1
         assert isinstance(ei.value.__cause__, SegmentAllocationError)
 

@@ -57,7 +57,7 @@ def _rpc_add(dobj, key, value):
     dobj.value[key] += value
 
 
-def _run_simulated(ops) -> np.ndarray:
+def _run_simulated(ops, faults=None) -> np.ndarray:
     result = np.zeros((N_RANKS, 2 * SLOTS * N_RANKS), dtype=np.int64)
 
     def body():
@@ -103,7 +103,7 @@ def _run_simulated(ops) -> np.ndarray:
         result[me, :] = combined
         upcxx.barrier()
 
-    upcxx.run_spmd(body, N_RANKS)
+    upcxx.run_spmd(body, N_RANKS, faults=faults)
     return result
 
 
@@ -111,6 +111,36 @@ def _run_simulated(ops) -> np.ndarray:
 @given(st.lists(_op, min_size=1, max_size=25))
 def test_random_programs_match_oracle(ops):
     assert np.array_equal(_run_simulated(ops), _oracle(ops))
+
+
+#: seeded fault plans for the chaos fuzz dimension: lossy/jittery links
+#: (where the reliability layer must still deliver exactly-once and the
+#: oracle must match), plus whole-rank crashes (where the run must end
+#: with a typed verdict, never a hang)
+_FAULT_SPECS = [
+    "seed=11,drop=0.15,dup=0.1",
+    "seed=12,jitter=1e-6,dup=0.2",
+    "seed=13,drop=0.3,jitter=5e-7,stall=20000:2e-6",
+    "seed=14,crash=1@5e-5",
+    "seed=15,drop=0.2,crash=3@2e-4",
+]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=25), st.sampled_from(_FAULT_SPECS))
+def test_random_programs_under_faults(ops, spec):
+    """Chaos dimension: every program either completes with the exact
+    oracle answer (reliable delivery is exactly-once despite drops,
+    duplicates, jitter, and NIC stalls) or raises a *typed* error when a
+    rank crashes — it must never hang or return corrupted memory."""
+    from repro.sim.errors import DeadlockError, RankDeadError, RankFailure
+
+    try:
+        got = _run_simulated(ops, faults=spec)
+    except (RankFailure, RankDeadError, DeadlockError):
+        assert "crash" in spec  # only rank death may abort the run
+        return
+    assert np.array_equal(got, _oracle(ops))
 
 
 def test_oracle_helper_sanity():

@@ -181,11 +181,14 @@ def test_plan_rejects_bad_env(monkeypatch):
 # ------------------------------------------------------- failure transport
 def test_failure_roundtrip_rank_failure():
     exc = RankFailure(3, "ValueError: boom")
-    kind, msg, rank = _describe_failure(exc)
-    rebuilt = _rebuild_failure(kind, msg, rank)
+    exc.__cause__ = ValueError("boom")
+    kind, msg, rank, cause = _describe_failure(exc)
+    rebuilt = _rebuild_failure(kind, msg, rank, cause)
     assert isinstance(rebuilt, RankFailure)
     assert rebuilt.rank == 3
     assert str(rebuilt) == str(exc)
+    assert isinstance(rebuilt.__cause__, ValueError)
+    assert str(rebuilt.__cause__) == "boom"
 
 
 def test_failure_roundtrip_unknown_type():

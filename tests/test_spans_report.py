@@ -172,8 +172,8 @@ class TestReportCli:
         real = report_mod.analyze_workload
         calls = []
 
-        def tampered(name, backend, shards=None):
-            rep = real(name, backend, shards)
+        def tampered(name, backend, shards=None, faults=None):
+            rep = real(name, backend, shards, faults)
             calls.append(backend)
             if backend == "threads":
                 rep["fingerprint"] = "deadbeef"  # simulate a divergence
