@@ -39,7 +39,12 @@ SMOKE_SHARDS = 2
 
 @pytest.fixture(scope="module")
 def report():
-    return run_harness(scale="tiny", repeat=2, out_path=OUT_PATH, shards=SMOKE_SHARDS)
+    # profile=True: the per-phase hot-path breakdown always rides in the
+    # CI artifact, so a future gate regression is attributable from
+    # BENCH_perf.json alone
+    return run_harness(
+        scale="tiny", repeat=2, out_path=OUT_PATH, shards=SMOKE_SHARDS, profile=True
+    )
 
 
 def test_harness_covers_all_workloads(report):
@@ -104,6 +109,40 @@ def test_gate_entries_recorded(report):
     assert report["gate"] == report["gates"][0]
 
 
+def test_no_non_advisory_gate_failure(report):
+    """Hard gate: a non-advisory ``passed: false`` entry fails the job.
+
+    CI previously accepted (and committed) a BENCH_perf.json whose gate
+    read ``passed: false`` because no test asserted on the verdict — only
+    on its type.  Advisory entries (runner below the gate's documented
+    cpu/shard requirements) are exempt: their measured number is recorded
+    honestly but reflects the runner, not the code under test.
+    """
+    failures = [
+        f"{g['name']}: measured {g['measured_speedup']} < target {g['target_speedup']}"
+        for g in report["gates"]
+        if not g.get("skipped") and not g.get("advisory") and g["passed"] is False
+    ]
+    assert not failures, "non-advisory perf gate(s) failed: " + "; ".join(failures)
+
+
+def test_profile_phase_breakdown_in_report(report):
+    """Satellite: the per-phase hot-path breakdown lands in the artifact
+    with sane fractions, and the instrumentation phase is ~free when no
+    spans/metrics/trace are installed (the zero-cost-when-off claim,
+    checked from CI's own artifact)."""
+    bd = report["profile_phases"]
+    assert bd["workload"] == "fig4a_dht"
+    assert bd["n_fibers_profiled"] > 0
+    fr = bd["fractions"]
+    assert set(fr) >= {"scheduler", "conduit", "upcxx_api", "instrumentation"}
+    assert all(0.0 <= v <= 1.0 for v in fr.values())
+    assert abs(sum(fr.values()) - 1.0) < 0.01
+    # the harness runs with no observers installed: instrumentation code
+    # must not appear on the hot path at all
+    assert fr["instrumentation"] < 0.01
+
+
 def test_bench_perf_json_written(report):
     with open(OUT_PATH) as f:
         on_disk = json.load(f)
@@ -135,6 +174,42 @@ def test_peak_rss_recorded_per_backend(report):
             assert rec["peak_rss_children_kb"] >= 0
 
 
+def _calmest_pair(once, on_arg, n_pairs=7):
+    """Interleaved A/B overhead measurement, robust to CPU throttling.
+
+    Shared/capped runners exhibit *multiplicative, slowly-varying* noise
+    (frequency scaling, cgroup throttling): identical runs vary up to
+    10x wall clock, and process-CPU time scales with them — so there is
+    no noise-free clock to fall back on.  Best-of-N per arm (the old
+    estimator) breaks when the two arms' minima land in different
+    throttle windows.  Instead, run base/instrumented *pairs* and judge
+    the overhead inside the calmest window: the pair with the smallest
+    combined wall time.  Within one calm pair both arms ran at the same
+    clock, so their ratio is an honest overhead estimate; even under
+    sustained throttling the ratio stays honest because both arms are
+    slowed equally — only a throttle transition mid-pair corrupts a
+    pair, and that pair then loses the min by construction.
+
+    Returns ``(base_s, with_s, base_res, with_res)`` from the winning
+    pair (simulated results are deterministic, so any repeat's results
+    are representative).
+    """
+    import gc
+
+    pairs = []
+    gc.disable()
+    try:
+        once(None)  # warm-up (imports, code objects)
+        for _ in range(n_pairs):
+            tb, base_res = once(None)
+            tw, with_res = once(on_arg)
+            pairs.append((tb + tw, tb, tw, base_res, with_res))
+    finally:
+        gc.enable()
+    _, base_s, with_s, base_res, with_res = min(pairs, key=lambda p: p[0])
+    return base_s, with_s, base_res, with_res
+
+
 def test_span_tracing_overhead_under_5pct():
     """Acceptance gate: span tracing enabled on the perf-smoke DHT-style
     workload costs <5% wall clock vs disabled (plus a small absolute
@@ -145,37 +220,25 @@ def test_span_tracing_overhead_under_5pct():
     from repro.util.spans import SpanBuffer
 
     def body():
+        # long enough (~1.5s calm) that sub-second CPU-clock throttle
+        # swings average out *within* each run — see _calmest_pair
         me = upcxx.rank_me()
         n = upcxx.rank_n()
         upcxx.barrier()
         acc = 0
-        for i in range(8):
+        for i in range(24):
             acc += upcxx.rpc((me + i + 1) % n, lambda a, b: a + b, me, i).wait()
         upcxx.barrier()
         return (acc, upcxx.sim_now())
 
-    def once(spans):
+    spans = SpanBuffer()
+
+    def once(arg):
         t0 = time.perf_counter()
-        res = upcxx.run_spmd(body, 32, ppn=8, seed=3, spans=spans)
+        res = upcxx.run_spmd(body, 32, ppn=8, seed=3, spans=arg)
         return time.perf_counter() - t0, res
 
-    # interleave base/traced pairs and take best-of-5 of each so machine
-    # noise (GC pauses, CI neighbors) hits both arms symmetrically
-    import gc
-
-    spans = SpanBuffer()
-    base_s = with_s = float("inf")
-    base_res = with_res = None
-    gc.disable()
-    try:
-        once(None)  # warm-up (imports, code objects)
-        for _ in range(5):
-            t, base_res = once(None)
-            base_s = min(base_s, t)
-            t, with_res = once(spans)
-            with_s = min(with_s, t)
-    finally:
-        gc.enable()
+    base_s, with_s, base_res, with_res = _calmest_pair(once, spans)
     # tracing is passive: simulated results are untouched
     assert with_res == base_res
     assert len(spans) > 0
@@ -192,13 +255,13 @@ def test_reliable_delivery_bookkeeping_under_2pct(report):
     Measured conservatively: the *whole* reliability machinery armed with
     an all-zero-rate plan (sequence numbers, retransmit-ladder evaluation,
     ack scheduling, channel state) vs faults disabled entirely (where the
-    per-op cost is one ``faults is None`` branch).  Interleaved best-of-5
-    per arm so machine noise hits both symmetrically, with the same
-    absolute cushion the span-tracing gate uses so sub-100ms runs don't
-    flake.  Simulated results must be bit-identical between the arms, and
-    the measured ratio is recorded into ``BENCH_perf.json``.
+    per-op cost is one ``faults is None`` branch).  Interleaved
+    calmest-pair estimation (see :func:`_calmest_pair`) so throttling
+    noise hits both arms symmetrically, with the same absolute cushion
+    the span-tracing gate uses so sub-100ms runs don't flake.  Simulated
+    results must be bit-identical between the arms, and the measured
+    ratio is recorded into ``BENCH_perf.json``.
     """
-    import gc
     import time
 
     import numpy as np
@@ -207,7 +270,9 @@ def test_reliable_delivery_bookkeeping_under_2pct(report):
     from repro.sim.faults import FaultPlan
 
     def body():
-        # Fig. 3a-style blocking rput chain + Fig. 4a-style RPC round-trips
+        # Fig. 3a-style blocking rput chain + Fig. 4a-style RPC
+        # round-trips, long enough that throttle swings average out
+        # within each run (see _calmest_pair)
         me = upcxx.rank_me()
         n = upcxx.rank_n()
         landing = upcxx.new_array(np.uint8, 512)
@@ -215,10 +280,10 @@ def test_reliable_delivery_bookkeeping_under_2pct(report):
         upcxx.barrier()
         if me == 0:
             payload = bytes(512)
-            for _ in range(20):
+            for _ in range(60):
                 upcxx.rput(payload, dest).wait()
         acc = 0
-        for i in range(8):
+        for i in range(24):
             acc += upcxx.rpc((me + i + 1) % n, lambda a, b: a + b, me, i).wait()
         upcxx.barrier()
         return (acc, upcxx.sim_now())
@@ -229,18 +294,7 @@ def test_reliable_delivery_bookkeeping_under_2pct(report):
         return time.perf_counter() - t0, res
 
     plan = FaultPlan(seed=1)  # armed, all rates zero
-    base_s = with_s = float("inf")
-    base_res = with_res = None
-    gc.disable()
-    try:
-        once(None)  # warm-up (imports, code objects)
-        for _ in range(5):
-            t, base_res = once(None)
-            base_s = min(base_s, t)
-            t, with_res = once(plan)
-            with_s = min(with_s, t)
-    finally:
-        gc.enable()
+    base_s, with_s, base_res, with_res = _calmest_pair(once, plan)
     # a zero-fault plan must be simulation-invisible
     assert with_res == base_res
     ratio = with_s / base_s if base_s > 0 else 1.0

@@ -217,26 +217,39 @@ class _StampedQueue(EventQueue):
     """EventQueue whose heap keys are causal stamps, not insertion seqs.
 
     ``push`` derives the stamp from the owning scheduler's current
-    context via its ``_make_stamp`` (rank posting, or firing event);
-    ``push_keyed`` (inherited) inserts under an externally minted stamp
-    (the sharded backend's cross-shard envelopes).  Stamps are tuples
-    ordered by (create_time, origin...), globally unique, and identical
-    across backends for the same logical post — equal-time ties resolve
-    the same way everywhere.
+    context (rank posting, or firing event) — the minting logic of
+    :func:`_make_stamp` is inlined here because ``push`` is on the
+    per-operation hot path; ``push_keyed`` (inherited) inserts under an
+    externally minted stamp (the sharded backend's cross-shard
+    envelopes).  Stamps are tuples ordered by (create_time, origin...),
+    globally unique, and identical across backends for the same logical
+    post — equal-time ties resolve the same way everywhere.
     """
 
-    __slots__ = ("_make_stamp",)
+    __slots__ = ("_sched",)
 
-    def __init__(self, make_stamp: Callable[[], tuple]):
+    def __init__(self, sched: "Scheduler"):
         super().__init__()
-        self._make_stamp = make_stamp
+        self._sched = sched
 
     def push(self, time: float, fn: Callable[[], None]) -> None:
         if time != time or time < 0 or time == _INF:  # NaN, negative, or inf
             raise ValueError(f"invalid event time: {time!r}")
         if not callable(fn):
             raise TypeError(f"event callback must be callable, got {type(fn).__name__}")
-        heapq.heappush(self._heap, (time, self._make_stamp(), fn))
+        sched = self._sched
+        lane = sched._firing_lane
+        if lane is not None:
+            sched._fire_child += 1
+            stamp = lane + (sched._fire_child,)
+        else:
+            me = sched._stamp_rank()
+            if me is None:
+                raise SimError("cannot mint an event stamp outside rank/network context")
+            rid = me.rid
+            seq = sched._post_seq[rid] = sched._post_seq[rid] + 1
+            stamp = (me.clock, rid, seq)
+        heapq.heappush(self._heap, (time, stamp, fn))
         self._count_posted += 1
 
 
@@ -328,11 +341,16 @@ class CoroutineScheduler(Scheduler):
         self._firing_lane: Optional[tuple] = None
         self._fire_child = 0
         self._post_seq = [0] * n_ranks
-        self._events = _StampedQueue(self._make_stamp)
+        self._events = _StampedQueue(self)
         self._eheap = self._events._heap  # direct alias for batched drains
         self._ranks: List[_Fiber] = [_Fiber(r) for r in range(n_ranks)]
         self._ready: list = []  # heap of (clock, rid, stamp)
-        self._ready_version = 0  # bumped on every push (drain-loop cache key)
+        # bumped on every mutation that can change the validated heap top
+        # (push, dispatch pop) — both the drain-loop gate and the memoized
+        # _peek_ready result key off it
+        self._ready_version = 0
+        self._top_cache = None  # memoized (clock, ctl) for _ready_version
+        self._top_version = -1
         self._failure: Optional[BaseException] = None
         #: rank -> RankDeadError, filled by fault-injection crash events
         self._dead_ranks: dict = {}
@@ -476,17 +494,29 @@ class CoroutineScheduler(Scheduler):
             self._horizon = clock
 
     def _peek_ready(self):
-        """Return (clock, ctl) of the earliest ready rank, or None."""
+        """Return (clock, ctl) of the earliest ready rank, or None.
+
+        Memoized on ``_ready_version``: a validated top stays the top
+        until a push or a dispatch pop (a READY rank's clock and stamp
+        are frozen while it is READY), so repeated peeks between heap
+        mutations are one version compare instead of a heap walk.
+        """
+        if self._top_version == self._ready_version:
+            return self._top_cache
         ready = self._ready
         ranks = self._ranks
+        top = None
         while ready:
             clock, rid, stamp = ready[0]
             ctl = ranks[rid]
             if ctl.state != _READY or stamp != ctl.ready_stamp or clock != ctl.clock:
                 heapq.heappop(ready)  # stale entry
                 continue
-            return clock, ctl
-        return None
+            top = (clock, ctl)
+            break
+        self._top_cache = top
+        self._top_version = self._ready_version
+        return top
 
     def _retarget(self) -> None:
         """Recompute the fast-path horizon after a dispatch decision."""
@@ -500,7 +530,11 @@ class CoroutineScheduler(Scheduler):
             et = eheap[0][0]
             if et < h:
                 h = et
-        top = self._peek_ready()
+        top = (
+            self._top_cache
+            if self._top_version == self._ready_version
+            else self._peek_ready()
+        )
         if top is not None and top[0] < h:
             h = top[0]
         self._horizon = h
@@ -519,7 +553,9 @@ class CoroutineScheduler(Scheduler):
         eheap = self._eheap
         n_fired = 0
         version = self._ready_version
-        top = self._peek_ready()
+        top = (
+            self._top_cache if self._top_version == version else self._peek_ready()
+        )
         gate = top[0] if top is not None else None
         try:
             while eheap:
@@ -542,7 +578,11 @@ class CoroutineScheduler(Scheduler):
             self._firing_lane = None
             if n_fired:
                 self._events.account_fired(n_fired)
-        top = self._peek_ready()
+        top = (
+            self._top_cache
+            if self._top_version == self._ready_version
+            else self._peek_ready()
+        )
         if top is not None and top[0] < clock:
             # Someone is earlier: yield.
             me.state = _READY
@@ -580,9 +620,14 @@ class CoroutineScheduler(Scheduler):
                     self._events.account_fired(n_fired)
                 self._abort_all()
                 return
-            top = self._peek_ready()
+            top = (
+                self._top_cache
+                if self._top_version == self._ready_version
+                else self._peek_ready()
+            )
             if top is not None and (not eheap or top[0] < eheap[0][0]):
                 heapq.heappop(self._ready)
+                self._ready_version += 1
                 ctl = top[1]
                 ctl.state = _RUNNING
                 self.switches += 1
@@ -671,8 +716,10 @@ class CoroutineScheduler(Scheduler):
             return
         self._aborted = True
         # break the charge()/checkpoint() fast path: a rank resumed mid-
-        # checkpoint must not keep running below a stale horizon
+        # checkpoint must not keep running below a stale horizon, and the
+        # memoized ready-top must not outlive the state flips below
         self._horizon = -1.0
+        self._ready_version += 1
         self._current = None
         for ctl in self._ranks:
             if ctl.state in (_BLOCKED, _READY):
@@ -788,7 +835,7 @@ class ThreadScheduler(Scheduler):
         self._firing_lane: Optional[tuple] = None
         self._fire_child = 0
         self._post_seq = [0] * n_ranks
-        self._events = _StampedQueue(self._make_stamp)
+        self._events = _StampedQueue(self)
         self._ranks: List[_RankCtl] = [_RankCtl(r, self._lock) for r in range(n_ranks)]
         self._ready: list = []  # heap of (clock, rid, stamp)
         self._main_cond = threading.Condition(self._lock)

@@ -595,6 +595,7 @@ class ShardedScheduler(CoroutineScheduler):
             et = eheap[0][0] if eheap and eheap[0][0] < wbound else None
             if rclock is not None and (et is None or rclock < et):
                 heapq.heappop(self._ready)
+                self._ready_version += 1
                 ctl = top[1]
                 ctl.state = _RUNNING
                 self.switches += 1

@@ -93,8 +93,8 @@ class AtomicDomain:
                         promise.fulfill_result()
 
                 rt.gasnet_completed(
-                    CompQItem(
-                        rt.cpu.t(rt.costs.completion),
+                    CompQItem.acquire(
+                        rt._c_completion,
                         fulfill,
                         "amo",
                         self.dtype.itemsize,

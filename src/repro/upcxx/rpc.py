@@ -64,6 +64,14 @@ class _UnresolvedDistObject(Exception):
 #: late-bound DistObject class (import cycle: dist_object imports rpc)
 _DistObject = None
 
+#: argument types that never need translation or resolution: not a
+#: DistObject/DistObjectRef/_FnRef, not callable, and not a container that
+#: could hide one.  Arg tuples made only of these skip the recursive walk
+#: on both sides of the wire (the hot RPC shapes are flat scalar tuples).
+_PASSTHROUGH_ARG_TYPES = frozenset(
+    {int, float, str, bytes, bytearray, memoryview, bool, type(None)}
+)
+
 
 def _translate_args_out(rt: Runtime, args: tuple) -> tuple:
     """Initiator side: replace DistObject arguments by wire references.
@@ -71,6 +79,12 @@ def _translate_args_out(rt: Runtime, args: tuple) -> tuple:
     Recurses through containers so dist_objects nested in lists/dicts
     (e.g. forwarded argument packs) are translated too.
     """
+    passthrough = _PASSTHROUGH_ARG_TYPES
+    for a in args:
+        if type(a) not in passthrough:
+            break
+    else:
+        return args, []
     global _DistObject
     if _DistObject is None:
         from repro.upcxx.dist_object import DistObject as _DistObject  # noqa: F811
@@ -102,6 +116,12 @@ def _resolve_args_in(rt: Runtime, args: tuple, fns: list) -> tuple:
     Raises :class:`_UnresolvedDistObject` (deferring the RPC) if any named
     dist_object has not been constructed here yet.
     """
+    passthrough = _PASSTHROUGH_ARG_TYPES
+    for a in args:
+        if type(a) not in passthrough:
+            break
+    else:
+        return args
 
     def walk(a):
         if isinstance(a, _FnRef):

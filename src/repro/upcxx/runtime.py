@@ -445,6 +445,25 @@ class Runtime:
         trace = self._trace
         sp = self.spans
         release = CompQItem.release
+        if m is None and sp is None and not trace.enabled:
+            # Observability off: the execute loop carries zero per-item
+            # instrumentation — charge, run, release (the "zero-cost when
+            # off" discipline; one sentinel check for the whole drain).
+            charge = sched.charge
+            while compQ:
+                item = compQ.popleft()
+                cost = item.cost
+                if cost > 0:
+                    charge(cost)
+                item.fn()
+                release(item)
+                # completions staged in network context while this item
+                # executed must not wait for compQ to drain (see below)
+                while staged:
+                    compQ.append(staged.popleft())
+                if not compQ:
+                    self.internal_progress()
+            return
         while compQ:
             item = compQ.popleft()
             cost = item.cost

@@ -330,17 +330,137 @@ def pack(obj: Any) -> bytes:
         return _B_BYTES + _U32.pack(len(obj)) + obj
     if t is bytearray:
         return _B_BYTES + _U32.pack(len(obj)) + bytes(obj)
-    out: List[bytes] = []
+    if t is tuple:
+        # Flat argument tuples of scalars/refs/pointers are the other hot
+        # RPC shape (every request and reply envelope); emit their frames
+        # inline — byte-identical to _pack_into — and bail to the general
+        # recursive packer on the first element it doesn't cover.
+        out = [_B_TUPLE, _U32.pack(len(obj))]
+        append = out.append
+        for x in obj:
+            tx = type(x)
+            if tx is int:
+                if -(2**63) <= x < 2**63:
+                    append(_B_INT)
+                    append(_I64.pack(x))
+                else:
+                    break
+            elif tx is bytes:
+                append(_B_BYTES)
+                append(_U32.pack(len(x)))
+                append(x)
+            elif tx is DistObjectRef:
+                append(_B_DISTREF)
+                append(_I64.pack(x.team_uid))
+                append(_I64.pack(x.index))
+            elif tx is GlobalPtr:
+                append(_B_GPTR)
+                append(_I64.pack(x.rank))
+                append(_I64.pack(x.offset))
+                dt = str(x.dtype).encode()
+                append(_U32.pack(len(dt)))
+                append(dt)
+                append(_I64.pack(x.count))
+                append(_B_KIND_HOST if x.kind == "host" else _B_KIND_DEVICE)
+            elif tx is float:
+                append(_B_FLOAT)
+                append(_F64.pack(x))
+            elif tx is str:
+                raw = x.encode("utf-8")
+                append(_B_STR)
+                append(_U32.pack(len(raw)))
+                append(raw)
+            elif x is None:
+                append(_B_NONE)
+            elif x is True:
+                append(_B_TRUE)
+            elif x is False:
+                append(_B_FALSE)
+            else:
+                break
+        else:
+            return b"".join(out)
+    out = []
     _pack_into(out, obj)
     return b"".join(out)
 
 
 def unpack(buf: bytes) -> Any:
     """Deserialize one object from ``buf``."""
-    # Fast path mirroring pack(): a whole-buffer bytes frame needs no
-    # reader state — one tag check, one length check, one slice.
-    if buf and buf[0] == _T_BYTES and len(buf) >= 5 and 5 + _U32.unpack_from(buf, 1)[0] == len(buf):
-        return buf[5:]  # same slice the general path's take() would produce
+    # Fast paths mirroring pack(): a whole-buffer bytes frame needs no
+    # reader state — one tag check, one length check, one slice — and a
+    # flat tuple of scalars/refs/pointers is decoded inline without the
+    # per-element reader dispatch.  Any anomaly (unexpected tag, short
+    # buffer, trailing bytes) falls through to the general path, which
+    # raises the proper SerializationError.
+    n = len(buf)
+    if n >= 5:
+        tag = buf[0]
+        if tag == _T_BYTES and 5 + _U32.unpack_from(buf, 1)[0] == n:
+            return buf[5:]  # same slice the general path's take() would produce
+        if tag == _T_TUPLE:
+            count = _U32.unpack_from(buf, 1)[0]
+            pos = 5
+            vals: List[Any] = []
+            append = vals.append
+            ok = True
+            try:
+                for _ in range(count):
+                    if pos >= n:
+                        ok = False
+                        break
+                    t = buf[pos]
+                    pos += 1
+                    if t == _T_INT:
+                        append(_I64.unpack_from(buf, pos)[0])
+                        pos += 8
+                    elif t == _T_BYTES:
+                        ln = _U32.unpack_from(buf, pos)[0]
+                        pos += 4
+                        append(buf[pos : pos + ln])
+                        pos += ln
+                    elif t == _T_DISTREF:
+                        append(
+                            DistObjectRef(
+                                _I64.unpack_from(buf, pos)[0],
+                                _I64.unpack_from(buf, pos + 8)[0],
+                            )
+                        )
+                        pos += 16
+                    elif t == _T_GPTR:
+                        rank = _I64.unpack_from(buf, pos)[0]
+                        offset = _I64.unpack_from(buf, pos + 8)[0]
+                        pos += 16
+                        ln = _U32.unpack_from(buf, pos)[0]
+                        pos += 4
+                        dt = np.dtype(buf[pos : pos + ln].decode())
+                        pos += ln
+                        cnt = _I64.unpack_from(buf, pos)[0]
+                        pos += 8
+                        kind = "host" if buf[pos] == 0 else "device"
+                        pos += 1
+                        append(GlobalPtr(rank, offset, dt, cnt, kind))
+                    elif t == _T_FLOAT:
+                        append(_F64.unpack_from(buf, pos)[0])
+                        pos += 8
+                    elif t == _T_STR:
+                        ln = _U32.unpack_from(buf, pos)[0]
+                        pos += 4
+                        append(buf[pos : pos + ln].decode("utf-8"))
+                        pos += ln
+                    elif t == _T_NONE:
+                        append(None)
+                    elif t == _T_TRUE:
+                        append(True)
+                    elif t == _T_FALSE:
+                        append(False)
+                    else:
+                        ok = False
+                        break
+            except struct.error:
+                ok = False
+            if ok and pos == n:
+                return tuple(vals)
     r = _Reader(buf)
     obj = _unpack_from(r)
     if r.pos != len(buf):

@@ -1,0 +1,174 @@
+"""Hot-path "zero-cost-when-off" regression pins.
+
+The perf-gate post-mortem (docs/simulator.md §6) traced the coroutine
+speedup loss to observability/reliability bookkeeping leaking into the
+common path: span sids minted whenever a SpanBuffer merely *existed*,
+per-op metrics probes, and per-op allocations.  These tests pin the
+repaired contract so the next bookkeeping PR cannot silently regress the
+gate again:
+
+- with spans/metrics/faults all disabled, a DHT workload mints **zero**
+  span sids and records **zero** spans;
+- a constructed-but-``enabled=False`` SpanBuffer is indistinguishable
+  from no buffer at all (the runtime nulls it once at startup — the
+  single cached enabled-check the op layers rely on);
+- the run stays inside a fixed event and CompQItem-allocation budget
+  (the free-list pool must keep absorbing per-op churn);
+- :meth:`DwellHistogram.percentile` boundary behavior (empty, single
+  sample, p0/p100) stays exact, since the metrics layer is what the
+  zero-cost discipline keeps off the hot path.
+"""
+
+import pytest
+
+import repro.upcxx as upcxx
+from repro.upcxx.runtime import CompQItem, Runtime
+from repro.util.metrics import DwellHistogram
+from repro.util.spans import SpanBuffer
+
+#: DHT smoke geometry: small enough for CI, big enough to cross every
+#: op-lifecycle stage (rpc + reply + rput chains, barriers, progress)
+N_RANKS = 8
+N_INSERTS = 4
+
+#: budgets for the instrumentation-off run, with headroom over the
+#: measured values (288 events fired, 8 fresh CompQItems in a cold
+#: process) so legitimate scheduler changes don't flake the pin but a
+#: per-op leak (one extra event or pool-missing allocation per insert:
+#: 8 ranks x 4 inserts = 32+ per leak) trips it immediately
+EVENT_BUDGET = 450
+COMPQ_ALLOC_BUDGET = 64
+
+
+def _dht_body():
+    from repro.apps.dht import DhtRmaLz
+
+    dht = DhtRmaLz()
+    rng = upcxx.runtime_here().rng.spawn("zero-cost-test")
+    payload = bytes(512)
+    upcxx.barrier()
+    for _ in range(N_INSERTS):
+        dht.insert(rng.key64(), payload).wait()
+    upcxx.barrier()
+    return upcxx.sim_now()
+
+
+def _run_counted(monkeypatch, **spmd_kwargs):
+    """Run the DHT body counting span-sid mints, span records, and fresh
+    CompQItem constructions; returns (sids, records, allocs, stats)."""
+    counts = {"sids": 0, "records": 0, "allocs": 0}
+
+    orig_sid = Runtime.next_span_sid
+
+    def counting_sid(self):
+        counts["sids"] += 1
+        return orig_sid(self)
+
+    orig_record = SpanBuffer.record
+
+    def counting_record(self, *a, **k):
+        counts["records"] += 1
+        return orig_record(self, *a, **k)
+
+    orig_item_init = CompQItem.__init__
+
+    def counting_init(self, *a, **k):
+        counts["allocs"] += 1
+        return orig_item_init(self, *a, **k)
+
+    monkeypatch.setattr(Runtime, "next_span_sid", counting_sid)
+    monkeypatch.setattr(SpanBuffer, "record", counting_record)
+    monkeypatch.setattr(CompQItem, "__init__", counting_init)
+    stats: dict = {}
+    upcxx.run_spmd(_dht_body, N_RANKS, ppn=8, seed=7, sched_stats=stats, **spmd_kwargs)
+    return counts["sids"], counts["records"], counts["allocs"], stats
+
+
+def test_no_span_work_when_observers_off(monkeypatch):
+    """spans/metrics/faults all off: zero sids, zero records, bounded
+    event and allocation budgets."""
+    sids, records, allocs, stats = _run_counted(monkeypatch)
+    assert sids == 0, f"{sids} span sids minted with spans disabled"
+    assert records == 0, f"{records} span records with spans disabled"
+    assert stats["events_fired"] <= EVENT_BUDGET, stats
+    assert allocs <= COMPQ_ALLOC_BUDGET, (
+        f"{allocs} fresh CompQItem constructions (budget {COMPQ_ALLOC_BUDGET}): "
+        "the free-list pool stopped absorbing per-op churn"
+    )
+
+
+def test_disabled_span_buffer_is_free(monkeypatch):
+    """A constructed SpanBuffer with enabled=False must cost exactly what
+    no buffer costs: the runtime nulls it once at startup, so no op-layer
+    code ever sees it (the single cached enabled-check)."""
+    spans = SpanBuffer(enabled=False)
+    sids, records, _allocs, _stats = _run_counted(monkeypatch, spans=spans)
+    assert sids == 0, f"{sids} sids minted for a disabled SpanBuffer"
+    assert records == 0
+    assert len(spans) == 0
+
+
+def test_enabled_spans_still_record(monkeypatch):
+    """Control arm: the counters above do observe real span traffic, so
+    the zero assertions are meaningful."""
+    spans = SpanBuffer()
+    sids, records, _allocs, _stats = _run_counted(monkeypatch, spans=spans)
+    assert sids > 0
+    assert records > 0
+    assert len(spans) > 0
+
+
+def test_workload_results_identical_with_and_without_observers():
+    """Observability must stay passive: same simulated answer either way."""
+    stats_a: dict = {}
+    stats_b: dict = {}
+    res_off = upcxx.run_spmd(_dht_body, N_RANKS, ppn=8, seed=7, sched_stats=stats_a)
+    res_on = upcxx.run_spmd(
+        _dht_body, N_RANKS, ppn=8, seed=7, spans=SpanBuffer(), sched_stats=stats_b
+    )
+    assert res_off == res_on
+    assert stats_a["events_fired"] == stats_b["events_fired"]
+
+
+# ------------------------------------------------- DwellHistogram boundaries
+def test_percentile_empty_histogram():
+    h = DwellHistogram()
+    assert h.percentile(50) == 0.0
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == 0.0
+
+
+def test_percentile_single_sample():
+    h = DwellHistogram()
+    h.add(5e-9)
+    for q in (0, 50, 100):
+        assert h.percentile(q) == pytest.approx(5e-9)
+
+
+def test_percentile_p0_p100_clamp_to_observed_range():
+    h = DwellHistogram()
+    samples = (1e-9, 3e-9, 1e-8, 2.5e-7, 1e-6)
+    for s in samples:
+        h.add(s)
+    assert h.percentile(0) == pytest.approx(min(samples))
+    assert h.percentile(100) == pytest.approx(max(samples))
+    p50 = h.percentile(50)
+    assert min(samples) <= p50 <= max(samples)
+
+
+def test_percentile_rejects_out_of_range():
+    h = DwellHistogram()
+    h.add(1e-9)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_percentile_zero_duration_samples():
+    h = DwellHistogram()
+    for _ in range(4):
+        h.add(0.0)
+    assert h.percentile(0) == 0.0
+    assert h.percentile(50) == 0.0
+    assert h.percentile(100) == 0.0
