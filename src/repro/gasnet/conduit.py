@@ -156,6 +156,20 @@ class Conduit:
 
         Registers the envelope handlers that execute the remote half of
         each conduit op when it arrives from a peer shard.
+
+        **Emission-margin contract** (what the sharded window protocol
+        leans on — see ``repro.sim.shard`` docstring §2): every
+        ``emit_envelope`` this conduit issues targets a rank on another
+        *node*, and every such fire time — data arrivals, AM deliveries,
+        completion acks, retransmit ladders under fault injection — rides
+        at least one ``network.latency_oneway`` past the simulated moment
+        it was decided.  Completion (``cpl``) envelopes are the tight
+        case: their margin is *exactly* one ``latency_oneway``, which is
+        why the window protocol's floor term provisions exactly one hop
+        and adapts only its self-horizon term.  Envelope metas stay flat
+        tuples of scalars/bytes wherever possible so the per-(peer,
+        window) batch frames encode them via the tagged serializer's raw
+        path instead of the pickler.
         """
         self._shard = shard
         shard.set_envelope_handlers(

@@ -365,6 +365,10 @@ class CoroutineScheduler(Scheduler):
         #: the fiber currently holding the baton (None outside run())
         self._current: Optional[_Fiber] = None
         self._horizon = 0.0
+        # Window bound hook: the sharded subclass lowers this to its CMB
+        # window edge (and clamps it on envelope emission); in-process
+        # backends leave it at +inf so _retarget never gates on it.
+        self._wbound = float("inf")
         self._main_baton = _thread.allocate_lock()
         self._main_baton.acquire()
         self._main_release_guard = _thread.allocate_lock()
@@ -537,6 +541,9 @@ class CoroutineScheduler(Scheduler):
         )
         if top is not None and top[0] < h:
             h = top[0]
+        wb = self._wbound
+        if wb < h:
+            h = wb
         self._horizon = h
 
     def _checkpoint_slow(self, me: _Fiber) -> None:

@@ -10,18 +10,52 @@ conservative window loop in each worker:
    ``NetworkModel.latency_oneway`` (0.65 us on Aries) after it was created.
    Intra-node traffic (the small ``latency_oneway_shm``) never crosses a
    shard and therefore never shrinks the lookahead.
-2. **Windows.**  Each shard advances its local event heap and ready ranks
-   strictly below ``bound = min(peer horizons) + lookahead``.  At the
-   window edge it exchanges, with every peer over a pipe pair: first the
-   cross-shard *envelopes* it produced (puts/gets/AMs/completions, plus
-   its done-rank count), then — after inserting the incoming envelopes —
-   its new *horizon* (earliest local event or ready rank).  Horizons are
-   announced post-insertion, so an idle peer can never advertise +inf
-   while envelopes to it are still in flight.  Every event a shard fires
-   at local time t creates cross-shard effects no earlier than
-   ``t + lookahead >= horizon + lookahead``, hence nothing a peer already
-   executed (strictly below its bound) can be invalidated: no rollbacks,
-   no speculation.
+2. **Windows (protocol v2: one barrier per window).**  Each shard
+   advances its local event heap and ready ranks strictly below a window
+   bound, then runs a *single* all-pairs exchange per window.  Every
+   frame piggybacks, next to the batch of cross-shard *envelopes*
+   (puts/gets/AMs/completions), the sender's done-rank count and two
+   horizon words: ``h`` — its earliest remaining local work (computed
+   after executing the window, i.e. post-insertion with respect to every
+   envelope delivered at earlier barriers) — and ``e`` — the earliest
+   fire time among the envelopes it is sending *elsewhere* in this same
+   barrier.  The bound is then::
+
+       wbound = min(floor + L, h_post + m*L)
+       floor  = min(min over peers P of min(h_P, e_P), own outbox min)
+
+   with ``L = latency_oneway``.  Correctness: any message that can still
+   reach this shard is created by some shard executing at a simulated
+   time no earlier than that shard's true horizon, and every true
+   horizon is bounded below by ``floor`` — ``h_P`` covers P's local
+   work, and every envelope in flight anywhere appears in some sender's
+   ``e`` word (or in our own outbox minimum), covering the wakeups the
+   advertised horizons cannot see yet.  A message created at time
+   ``t >= floor`` arrives no earlier than ``t + L``, so nothing executed
+   strictly below ``floor + L`` can be invalidated: no rollbacks, no
+   speculation.  The ``h_post + m*L`` self-term (m >= 2) bounds echoes
+   of our *own* future sends when every peer is idle; it is kept sound
+   for any m by the **emission clamp**: the moment this shard emits an
+   envelope firing at ``f`` mid-window, the bound is pulled down to
+   ``f + L`` — the earliest instant any reaction to that envelope can
+   reach us — before execution can pass it (``f + L >= now + 2L``).
+   When a window closes with everything infinite (all advertised
+   horizons +inf and no envelope in flight anywhere — a condition every
+   shard observes symmetrically from the same barrier data), a one-shot
+   *catch-up* frame is exchanged at the window edge carrying the
+   post-insertion horizon and final done count, re-establishing the v1
+   protocol's post-insertion verdict exactly where the pre/post
+   distinction could matter: the done-or-deadlock decision.
+   **Adaptive lookahead.**  The self-term multiplier ``m`` starts at 2
+   (one round trip, the v1 bound) and adapts deterministically from
+   simulated-time observables shared at the barrier: it doubles (up to
+   32) after a globally-quiet window — no envelopes sent or received and
+   every peer ``e`` infinite — and resets to 2 when traffic arrives
+   within one ``L`` of the closed bound.  Bounds never influence
+   execution *order* (events fire in ``(fire_time, stamp)`` order
+   regardless of where windows fall), so adaptation cannot perturb
+   results, traces, or span fingerprints; ``REPRO_SHARD_LOOKAHEAD=fixed``
+   pins ``m = 2`` for A/B determinism checks.
 3. **Determinism.**  Events are keyed ``(fire_time, stamp)`` where the
    *stamp* is a causal tuple — ``(create_time, rank, seq)`` for rank
    posts, ``parent_stamp + (child_seq,)`` for events posted from network
@@ -80,6 +114,8 @@ from repro.util.trace import TraceBuffer
 
 #: environment override for the worker-process count
 SHARDS_ENV = "REPRO_SIM_SHARDS"
+#: lookahead policy: "adaptive" (default) or "fixed" (pin the v1 bound)
+LOOKAHEAD_ENV = "REPRO_SHARD_LOOKAHEAD"
 
 _INF = float("inf")
 _U32 = struct.Struct("<I")
@@ -221,9 +257,46 @@ def _join_blobs(obj, blobs):
 # ======================================================================
 # Inter-shard channel
 # ======================================================================
-_K_ENV = 0  # phase A frame: (n_done, [(fire_time, stamp, kind, meta), ...])
-_K_HOR = 1  # phase B frame: local horizon (float, may be +inf)
-_K_FAIL = 2  # replaces a phase A frame when the sender is failing
+_K_ENV = 0  # legacy generic frame kind (kept for codec tests/tools)
+_K_HOR = 1  # legacy generic frame kind (kept for codec tests/tools)
+_K_FAIL = 2  # replaces a window frame when the sender is failing
+_K_ENV2 = 3  # protocol-v2 batched window frame (raw, no pickle framing)
+_K_SENT = 4  # one-byte sentinel: empty outbox, header unchanged
+_K_CATCH = 5  # one-shot catch-up frame: (post-insertion horizon, n_done)
+
+#: the whole frame an idle peer pair pays per window
+_SENTINEL_FRAME = bytes([_K_SENT])
+
+_ENV2_HDR = struct.Struct("<BIddI")  # kind, n_done, h, e_other, n_envs
+_REC_HDR = struct.Struct("<Bd")  # meta tag, fire_time
+_REC_PACKED = 0  # meta encoded via repro.upcxx.serialization.pack
+_REC_PICKLED = 1  # meta encoded via the cloudpickle-lite marshaller
+_REC_RAWENV = 2  # whole envelope marshalled (stamp outside the fixed layout)
+_I64_MAX = 2**63
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
+
+#: cap on the adaptive idle-provision multiplier (docstring §2): doubling
+#: from 2 after each globally-quiet barrier, a bound of 32 hops covers
+#: phase-gap silences ~4 doublings deep while keeping the snap-back cheap
+_LA_MULT_MAX = 32.0
+
+# Envelope metas ride the tagged wire format of repro.upcxx.serialization
+# when they can (flat tuples of scalars and bytes — the hot put/get/cpl
+# shapes — hit its inline fast path, and payload bytes travel as raw
+# length-prefixed frames), falling back to the marshaller only for metas
+# carrying live callables (RPC lambdas).  Bound lazily: repro.sim must
+# not import repro.upcxx at module load.
+_ser_pack = None
+_ser_unpack = None
+
+
+def _bind_serialization() -> None:
+    global _ser_pack, _ser_unpack
+    from repro.upcxx.serialization import pack, unpack
+
+    _ser_pack = pack
+    _ser_unpack = unpack
 
 
 class _PeerDied(SimError):
@@ -231,8 +304,9 @@ class _PeerDied(SimError):
 
 
 def _encode_frame(kind: int, payload, blobs: List[bytes]) -> bytes:
-    head = _dumps((kind, payload))
-    parts = [_U32.pack(len(head)), head, _U32.pack(len(blobs))]
+    """Generic (pickled) frame: rare control traffic — FAIL, catch-up."""
+    head = _dumps(payload)
+    parts = [bytes([kind]), _U32.pack(len(head)), head, _U32.pack(len(blobs))]
     for b in blobs:
         parts.append(_U64.pack(len(b)))
         parts.append(b)
@@ -240,9 +314,10 @@ def _encode_frame(kind: int, payload, blobs: List[bytes]) -> bytes:
 
 
 def _decode_frame(raw: bytes):
-    n = _U32.unpack_from(raw, 0)[0]
-    kind, payload = _loads(raw[4 : 4 + n])
-    pos = 4 + n
+    kind = raw[0]
+    n = _U32.unpack_from(raw, 1)[0]
+    payload = _loads(raw[5 : 5 + n])
+    pos = 5 + n
     nblobs = _U32.unpack_from(raw, pos)[0]
     pos += 4
     blobs = []
@@ -252,6 +327,93 @@ def _decode_frame(raw: bytes):
         blobs.append(raw[pos : pos + ln])
         pos += ln
     return kind, payload, blobs
+
+
+def _encode_env_frame(n_done: int, h: float, e_other: float, envs) -> bytes:
+    """One length-prefixed raw frame per (peer, window): the v2 batch.
+
+    Layout: ``<BIddI`` header (kind, n_done, h, e_other, n_envs), then one
+    record per envelope::
+
+        u8 tag | f64 fire_time | u8 len(stamp) | f64 stamp[0] |
+        i64 * (len(stamp)-1) | u8 len(kind) | kind utf-8 |
+        u32 len(meta) | meta bytes
+
+    Stamps are causal tuples ``(create_time, rank, seq, child...)`` —
+    one float followed by small ints — so they encode fixed-width with no
+    marshalling at all.  ``tag`` records how the meta bytes were produced
+    (:data:`_REC_PACKED` or :data:`_REC_PICKLED`).
+    """
+    if _ser_pack is None:
+        _bind_serialization()
+    parts = [_ENV2_HDR.pack(_K_ENV2, n_done, h, e_other, len(envs))]
+    append = parts.append
+    for env in envs:
+        ft, stamp, kind, meta = env
+        if (
+            0 < len(stamp) <= 255
+            and type(stamp[0]) is float
+            and all(type(s) is int and -_I64_MAX <= s < _I64_MAX for s in stamp[1:])
+            and len(kind) <= 255
+        ):
+            try:
+                body = _ser_pack(meta)
+                tag = _REC_PACKED
+            except Exception:
+                body = _dumps(meta)
+                tag = _REC_PICKLED
+            append(_REC_HDR.pack(tag, ft))
+            append(bytes([len(stamp)]))
+            append(_F64.pack(stamp[0]))
+            for s in stamp[1:]:
+                append(_I64.pack(s))
+            kb = kind.encode("utf-8")
+            append(bytes([len(kb)]))
+            append(kb)
+            append(_U32.pack(len(body)))
+            append(body)
+        else:
+            body = _dumps(env)
+            append(_REC_HDR.pack(_REC_RAWENV, ft))
+            append(_U32.pack(len(body)))
+            append(body)
+    return b"".join(parts)
+
+
+def _decode_env_frame(raw: bytes):
+    """Inverse of :func:`_encode_env_frame`: (n_done, h, e_other, envs)."""
+    if _ser_unpack is None:
+        _bind_serialization()
+    _, n_done, h, e_other, n_envs = _ENV2_HDR.unpack_from(raw, 0)
+    pos = _ENV2_HDR.size
+    envs = []
+    for _ in range(n_envs):
+        tag, ft = _REC_HDR.unpack_from(raw, pos)
+        pos += _REC_HDR.size
+        if tag == _REC_RAWENV:
+            mlen = _U32.unpack_from(raw, pos)[0]
+            pos += 4
+            envs.append(_loads(raw[pos : pos + mlen]))
+            pos += mlen
+            continue
+        slen = raw[pos]
+        pos += 1
+        stamp = [_F64.unpack_from(raw, pos)[0]]
+        pos += 8
+        for _i in range(slen - 1):
+            stamp.append(_I64.unpack_from(raw, pos)[0])
+            pos += 8
+        klen = raw[pos]
+        pos += 1
+        kind = raw[pos : pos + klen].decode("utf-8")
+        pos += klen
+        mlen = _U32.unpack_from(raw, pos)[0]
+        pos += 4
+        body = raw[pos : pos + mlen]
+        pos += mlen
+        meta = _ser_unpack(body) if tag == _REC_PACKED else _loads(body)
+        envs.append((ft, tuple(stamp), kind, meta))
+    return n_done, h, e_other, envs
 
 
 class _Channel:
@@ -266,11 +428,18 @@ class _Channel:
         self.shard_id = shard_id
         self.conns = conns
         self.peers = sorted(conns)
+        # sentinel caches: last (n_done, h, e_other) header sent to / seen
+        # from each peer — an unchanged header with an empty outbox
+        # collapses to the one-byte sentinel frame
+        self._tx_hdr: Dict[int, tuple] = {}
+        self._rx_hdr: Dict[int, tuple] = {}
         # CMB observability (wall-clock side; never enters simulated state)
         self.n_env_sent = 0
         self.n_env_recv = 0
         self.bytes_sent = 0
         self.bytes_recv = 0
+        self.n_frames_sent = 0
+        self.n_sentinels_sent = 0
 
     def _xchg(self, peer: int, frame: bytes) -> bytes:
         conn = self.conns[peer]
@@ -287,49 +456,94 @@ class _Channel:
         self.bytes_recv += len(raw)
         return raw
 
-    def exchange_envelopes(self, per_peer_out: dict, n_done: int, failing: bool):
-        """Phase A: swap envelopes + done counts (or a FAIL notice).
+    def exchange_window(self, per_peer_out: dict, n_done: int, h: float, failing: bool):
+        """Protocol v2: the single per-window barrier.
 
-        Returns ``(incoming_envelopes, peers_done_total, fail_seen)``.
+        Ships every peer its envelope batch plus the piggybacked header
+        ``(n_done, h, e_other)`` — or a one-byte sentinel when the outbox
+        to that peer is empty and the header is unchanged — and returns
+        ``(incoming, peers_done_total, fail_seen, peer_floor, traffic)``
+        where ``peer_floor = min over peers of min(h_P, e_P)`` and
+        ``traffic`` reports whether any envelope was visible anywhere at
+        this barrier (sent, received, or advertised via a finite ``e``).
         """
+        # per-destination outbox minima -> e_other per peer = the earliest
+        # fire time among envelopes this barrier carries to *other* shards
+        dest_min: Dict[int, float] = {}
+        for dst, envs in per_peer_out.items():
+            m = _INF
+            for env in envs:
+                if env[0] < m:
+                    m = env[0]
+            dest_min[dst] = m
         incoming: list = []
         peer_done = 0
         fail_seen = False
+        peer_floor = _INF
+        traffic = bool(per_peer_out)
         for peer in self.peers:
             if failing:
                 frame = _encode_frame(_K_FAIL, None, [])
             else:
-                blobs: List[bytes] = []
-                envs = [
-                    (ft, stamp, kind, _split_blobs(meta, blobs))
-                    for (ft, stamp, kind, meta) in per_peer_out.get(peer, ())
-                ]
-                self.n_env_sent += len(envs)
-                frame = _encode_frame(_K_ENV, (n_done, envs), blobs)
-            kind, payload, rblobs = _decode_frame(self._xchg(peer, frame))
-            if kind == _K_FAIL:
+                e_other = _INF
+                for dst, m in dest_min.items():
+                    if dst != peer and m < e_other:
+                        e_other = m
+                hdr = (n_done, h, e_other)
+                envs = per_peer_out.get(peer, ())
+                if not envs and self._tx_hdr.get(peer) == hdr:
+                    frame = _SENTINEL_FRAME
+                    self.n_sentinels_sent += 1
+                else:
+                    self.n_env_sent += len(envs)
+                    frame = _encode_env_frame(n_done, h, e_other, envs)
+                    self._tx_hdr[peer] = hdr
+                    self.n_frames_sent += 1
+            raw = self._xchg(peer, frame)
+            kind = raw[0]
+            if kind == _K_SENT:
+                hdr = self._rx_hdr.get(peer)
+                if hdr is None:
+                    raise SimError("shard protocol error: sentinel before any header")
+                pdone, ph, pe = hdr
+            elif kind == _K_ENV2:
+                pdone, ph, pe, envs = _decode_env_frame(raw)
+                self._rx_hdr[peer] = (pdone, ph, pe)
+                if envs:
+                    traffic = True
+                    self.n_env_recv += len(envs)
+                    incoming.extend(envs)
+            elif kind == _K_FAIL:
+                _decode_frame(raw)
                 fail_seen = True
-            elif kind == _K_ENV:
-                pdone, envs = payload
-                peer_done += pdone
-                self.n_env_recv += len(envs)
-                for ft, stamp, ekind, meta in envs:
-                    incoming.append((ft, stamp, ekind, _join_blobs(meta, rblobs)))
+                continue
             else:
-                raise SimError(f"shard protocol error: expected ENV/FAIL, got {kind}")
-        return incoming, peer_done, fail_seen
+                raise SimError(f"shard protocol error: expected ENV2/SENT/FAIL, got {kind}")
+            peer_done += pdone
+            if ph < peer_floor:
+                peer_floor = ph
+            if pe < peer_floor:
+                peer_floor = pe
+            if pe != _INF:
+                traffic = True
+        return incoming, peer_done, fail_seen, peer_floor, traffic
 
-    def exchange_horizons(self, h: float) -> float:
-        """Phase B: swap post-insertion horizons; returns min peer horizon."""
-        frame = _encode_frame(_K_HOR, h, [])
+    def exchange_catchup(self, h: float, n_done: int):
+        """One-shot catch-up at the window edge: swap post-insertion
+        horizons + final done counts before the done-or-deadlock verdict.
+        Returns ``(min peer horizon, peers_done_total)``."""
+        frame = _encode_frame(_K_CATCH, (h, n_done), [])
         m = _INF
+        peer_done = 0
         for peer in self.peers:
             kind, payload, _ = _decode_frame(self._xchg(peer, frame))
-            if kind != _K_HOR:
-                raise SimError(f"shard protocol error: expected HOR, got {kind}")
-            if payload < m:
-                m = payload
-        return m
+            if kind != _K_CATCH:
+                raise SimError(f"shard protocol error: expected CATCH, got {kind}")
+            ph, pdone = payload
+            peer_done += pdone
+            if ph < m:
+                m = ph
+        return m, peer_done
 
     def close(self) -> None:
         for c in self.conns.values():
@@ -447,9 +661,21 @@ class ShardedScheduler(CoroutineScheduler):
         self._wbound = _INF
         self._chan: Optional[_Channel] = None
         self._outbox: dict = {}  # dst shard -> [envelope]
+        # adaptive lookahead (protocol v2): the idle-provision multiplier
+        # m adapts within [2, _LA_MULT_MAX]; REPRO_SHARD_LOOKAHEAD=fixed
+        # pins m=2 (the v1 bound) for A/B determinism checks
+        mode = os.environ.get(LOOKAHEAD_ENV, "adaptive").strip() or "adaptive"
+        if mode not in ("adaptive", "fixed"):
+            raise SimError(
+                f"{LOOKAHEAD_ENV} must be 'adaptive' or 'fixed', got {mode!r}"
+            )
+        self._la_mode = mode
+        self._la_mult = 2.0
+        self._la_mult_peak = 2.0
         # CMB window observability (wall-clock; reported via stats() only —
         # nondeterministic, so it must never feed results or fingerprints)
         self._n_windows = 0
+        self._n_quiet_windows = 0
         self._stall_env_s = 0.0
         self._stall_hor_s = 0.0
         # built-in envelope kinds; conduits add theirs via bind_shard
@@ -504,22 +730,24 @@ class ShardedScheduler(CoroutineScheduler):
         stamp = self._make_stamp()
         shard = self._shard_of_rank[dst_rank]
         self._outbox.setdefault(shard, []).append((fire_time, stamp, kind, meta))
+        # Emission clamp (protocol v2, docstring §2): the receiver can echo
+        # this envelope no earlier than fire_time + lookahead, so the window
+        # must not execute past that point.  Because fire_time >= now +
+        # lookahead (the contract above), the clamp always lands strictly
+        # ahead of the current frontier — it shrinks the remaining window,
+        # never rewinds it.  This is what makes the adaptive idle-provision
+        # multiplier sound for any value.
+        la = self._lookahead
+        if la is not None:
+            nb = fire_time + la
+            if nb < self._wbound:
+                self._wbound = nb
+                if nb < self._horizon:
+                    self._horizon = nb
 
     # --------------------------------------------------- windowed scheduling
-    def _retarget(self) -> None:
-        h = self.max_time
-        eheap = self._eheap
-        if eheap:
-            et = eheap[0][0]
-            if et < h:
-                h = et
-        top = self._peek_ready()
-        if top is not None and top[0] < h:
-            h = top[0]
-        wb = self._wbound
-        if wb < h:
-            h = wb
-        self._horizon = h
+    # (_retarget is inherited: the base recomputation already folds in
+    # self._wbound, the window-bound hook owned by this subclass.)
 
     def _checkpoint_slow(self, me) -> None:
         # Same globally-minimal delivery rule as the base, with two window
@@ -527,7 +755,6 @@ class ShardedScheduler(CoroutineScheduler):
         # rank whose clock reached the bound parks on the ready heap until
         # the next window raises the bound past it.
         clock = me.clock
-        wbound = self._wbound
         eheap = self._eheap
         n_fired = 0
         version = self._ready_version
@@ -537,7 +764,10 @@ class ShardedScheduler(CoroutineScheduler):
             while eheap:
                 entry = eheap[0]
                 et = entry[0]
-                if et > clock or et >= wbound:
+                # self._wbound is re-read every iteration: a fired event can
+                # emit an envelope, and the emission clamp may have just
+                # lowered the bound below this entry.
+                if et > clock or et >= self._wbound:
                     break
                 if gate is not None and et > gate:
                     break  # an earlier rank must run first
@@ -556,6 +786,7 @@ class ShardedScheduler(CoroutineScheduler):
             if n_fired:
                 self._events.account_fired(n_fired)
         top = self._peek_ready()
+        wbound = self._wbound  # re-read: the drain may have clamped it
         if (top is not None and top[0] < clock) or clock >= wbound:
             # Someone is earlier, or I ran into the window edge: yield.
             if _DEBUG and clock >= wbound:
@@ -642,12 +873,14 @@ class ShardedScheduler(CoroutineScheduler):
         self._events.push_keyed(ft, stamp, lambda: fn(meta, ft))
 
     def _worker_main(self) -> List[Tuple[int, str]]:
-        """The conservative window loop; returns on success, raises on
-        failure or deadlock."""
+        """The conservative window loop (protocol v2; docstring §2);
+        returns on success, raises on failure or deadlock."""
         lo, hi = self._local_lo, self._local_hi
         chan = self._chan
         lookahead = self._lookahead if self._lookahead is not None else 0.0
         n_total = self.n_ranks
+        adaptive = self._la_mode == "adaptive"
+        mult = 2.0  # the v1-equivalent idle-provision multiplier
         # All peers start at horizon 0, so the first bound is the lookahead.
         self._wbound = lookahead if chan.peers else _INF
         for rid in range(lo, hi):
@@ -662,9 +895,14 @@ class ShardedScheduler(CoroutineScheduler):
             outbox = self._outbox
             self._outbox = {}
             self._n_windows += 1
+            closed_bound = self._wbound
+            # Pre-insertion horizon rides the envelope frame: what the peer
+            # cannot see from it (this barrier's in-flight envelopes) is
+            # covered by the e-words and by each sender's own-outbox floor.
+            h_pre = self._local_horizon()
             t0 = time.perf_counter()
-            incoming, peer_done, fail_seen = chan.exchange_envelopes(
-                outbox, self._n_done, failing
+            incoming, _peer_done, fail_seen, peer_floor, traffic = (
+                chan.exchange_window(outbox, self._n_done, h_pre, failing)
             )
             self._stall_env_s += time.perf_counter() - t0
             if failing:
@@ -672,41 +910,67 @@ class ShardedScheduler(CoroutineScheduler):
             if fail_seen:
                 self._fail(_RemoteAbort("another shard reported a failure"))
                 raise self._failure
-            # Insert before announcing the horizon: a peer's bound derived
-            # from our announcement must account for what we just sent it.
+            own_e = _INF
+            for envs in outbox.values():
+                for env in envs:
+                    if env[0] < own_e:
+                        own_e = env[0]
+            near_bound = False
             for env in sorted(incoming, key=lambda e: (e[0], e[1])):
+                if env[0] <= closed_bound + lookahead:
+                    near_bound = True
                 if _DEBUG:
-                    late = " LATE" if env[0] < self._wbound else ""
+                    late = " LATE" if env[0] < closed_bound else ""
                     print(
                         f"[shard {self._shard_id}] env ft={env[0]*1e9:.3f} "
-                        f"kind={env[2]} closed_wbound={self._wbound*1e9:.3f}{late}",
+                        f"kind={env[2]} closed_wbound={closed_bound*1e9:.3f}{late}",
                         file=sys.stderr, flush=True,
                     )
                 self._insert_envelope(env)
-            h = self._local_horizon()
-            t0 = time.perf_counter()
-            peer_min = chan.exchange_horizons(h)
-            self._stall_hor_s += time.perf_counter() - t0
-            if h == _INF and peer_min == _INF:
-                if self._n_done + peer_done == n_total:
-                    return []
-                raise _ShardDeadlock(
-                    [
-                        (c.rid, f"  rank {c.rid} (clock {c.clock:.9f}s): "
-                                f"{c.block_reason or '<no reason>'}")
-                        for c in self._ranks[lo:hi]
-                        if c.state == _BLOCKED
-                    ]
-                )
-            # A peer whose announced horizon is infinite is only *currently*
-            # idle: our own future envelopes can reactivate it, and its
-            # response lands no earlier than our local horizon plus two
-            # hops of lookahead (our send + its reply).  Direct or relayed
-            # peer activity adds at least one hop.  min() of the two keeps
-            # the bound finite whenever anyone — including us — still has
-            # work, so no rank ever observes state beyond what every
-            # in-flight chain of messages could reach.
-            self._wbound = min(peer_min + lookahead, h + 2.0 * lookahead)
+            h_post = self._local_horizon()
+            floor = peer_floor if peer_floor < own_e else own_e
+            if h_post == _INF and floor == _INF:
+                # Globally-silent barrier.  Entry is symmetric (docstring
+                # §2: every shard observes the same all-idle evidence), so
+                # all shards meet in the one-shot catch-up exchange that
+                # settles done-vs-deadlock from post-insertion state.
+                t0 = time.perf_counter()
+                peer_min, peers_done = chan.exchange_catchup(h_post, self._n_done)
+                self._stall_hor_s += time.perf_counter() - t0
+                if peer_min == _INF:
+                    if self._n_done + peers_done == n_total:
+                        return []
+                    raise _ShardDeadlock(
+                        [
+                            (c.rid, f"  rank {c.rid} (clock {c.clock:.9f}s): "
+                                    f"{c.block_reason or '<no reason>'}")
+                            for c in self._ranks[lo:hi]
+                            if c.state == _BLOCKED
+                        ]
+                    )
+                floor = peer_min  # defensive: a peer still has work
+            # Adaptive lookahead (docstring §2): widen the idle-provision
+            # term after a globally-quiet barrier, snap back when traffic
+            # lands within one hop of the closed bound.  Driven purely by
+            # simulated-time observables, so it is deterministic — and the
+            # bound never changes execution order, only window count.
+            if not traffic:
+                self._n_quiet_windows += 1
+                if adaptive:
+                    mult *= 2.0
+                    if mult > _LA_MULT_MAX:
+                        mult = _LA_MULT_MAX
+            elif adaptive and near_bound:
+                mult = 2.0
+            self._la_mult = mult
+            if mult > self._la_mult_peak:
+                self._la_mult_peak = mult
+            # The bound (docstring §2): every unknown future event either
+            # descends from an already-visible horizon/in-flight envelope
+            # (>= floor, so its effect lands >= floor + one hop) or from
+            # our own future sends (>= h_post + mult hops, kept sound for
+            # any mult by the emission clamp in emit_envelope).
+            self._wbound = min(floor + lookahead, h_post + mult * lookahead)
 
     def _worker_stats(self) -> dict:
         ev = self._events.stats
@@ -726,12 +990,19 @@ class ShardedScheduler(CoroutineScheduler):
             "events_fired": ev["fired"],
             # CMB window loop (wall-clock observability)
             "windows": self._n_windows,
+            "quiet_windows": self._n_quiet_windows,
             "window_stall_s": self._stall_env_s,
             "horizon_wait_s": self._stall_hor_s,
             "envelopes_sent": 0 if chan is None else chan.n_env_sent,
             "envelopes_received": 0 if chan is None else chan.n_env_recv,
             "pipe_bytes_sent": 0 if chan is None else chan.bytes_sent,
             "pipe_bytes_received": 0 if chan is None else chan.bytes_recv,
+            # protocol-v2 batching efficiency
+            "env_frames_sent": 0 if chan is None else chan.n_frames_sent,
+            "sentinel_frames_sent": 0 if chan is None else chan.n_sentinels_sent,
+            "lookahead_mode": self._la_mode,
+            "lookahead_mult_final": self._la_mult,
+            "lookahead_mult_peak": self._la_mult_peak,
             # reliability layer (fault injection), local endpoints only
             "frames_retransmitted": n_retx,
             "frames_dropped": n_drop,
@@ -997,6 +1268,13 @@ class ShardedScheduler(CoroutineScheduler):
             d["horizon_wait_s"] = sum(st.get("horizon_wait_s", 0.0) for st in ps)
             d["envelopes_exchanged"] = sum(st.get("envelopes_sent", 0) for st in ps)
             d["pipe_bytes"] = sum(st.get("pipe_bytes_sent", 0) for st in ps)
+            d["quiet_windows"] = max(st.get("quiet_windows", 0) for st in ps)
+            d["env_frames"] = sum(st.get("env_frames_sent", 0) for st in ps)
+            d["sentinel_frames"] = sum(st.get("sentinel_frames_sent", 0) for st in ps)
+            d["lookahead_mode"] = ps[0].get("lookahead_mode", "adaptive")
+            d["lookahead_mult_peak"] = max(
+                st.get("lookahead_mult_peak", 2.0) for st in ps
+            )
             d["frames_retransmitted"] = sum(st.get("frames_retransmitted", 0) for st in ps)
             d["frames_dropped"] = sum(st.get("frames_dropped", 0) for st in ps)
             d["frames_duplicated"] = sum(st.get("frames_duplicated", 0) for st in ps)

@@ -213,8 +213,9 @@ def analyze_workload(
         "switches": sched_stats.get("switches"),
         "events_fired": sched_stats.get("events_fired"),
     }
-    for key in ("n_shards", "windows", "window_stall_s", "horizon_wait_s",
-                "envelopes_exchanged", "pipe_bytes",
+    for key in ("n_shards", "windows", "quiet_windows", "window_stall_s",
+                "horizon_wait_s", "envelopes_exchanged", "pipe_bytes",
+                "env_frames", "sentinel_frames",
                 "frames_dropped", "frames_duplicated", "frames_retransmitted",
                 "acks"):
         if key in sched_stats:
@@ -276,12 +277,22 @@ def _render_text(reports: List[dict], identical: bool) -> str:
             f"{diag.get('frames_retransmitted', 0)} retransmitted frames"
         )
         if diag.get("n_shards"):
+            # batching efficiency (protocol v2): envelopes per non-sentinel
+            # frame, and the fraction of frame slots idle pairs collapsed
+            # to one-byte sentinels — a coalescing regression shows up here
+            n_frames = diag.get("env_frames", 0) or 0
+            n_sent = diag.get("sentinel_frames", 0) or 0
+            n_env = diag.get("envelopes_exchanged", 0) or 0
+            env_per_frame = n_env / n_frames if n_frames else 0.0
+            sent_frac = n_sent / (n_frames + n_sent) if (n_frames + n_sent) else 0.0
             lines.append(
                 f"CMB: {diag.get('n_shards')} shards, {diag.get('windows')} windows, "
                 f"env-exchange stall {diag.get('window_stall_s', 0.0) * 1e3:.2f} ms, "
                 f"horizon wait {diag.get('horizon_wait_s', 0.0) * 1e3:.2f} ms, "
-                f"{diag.get('envelopes_exchanged', 0)} envelopes / "
+                f"{n_env} envelopes / "
                 f"{diag.get('pipe_bytes', 0)} pipe bytes, "
+                f"{env_per_frame:.2f} envelopes/frame, "
+                f"{sent_frac:.1%} sentinel frames, "
                 + rel
             )
         elif any(diag.get(k) for k in

@@ -20,7 +20,7 @@ from __future__ import annotations
 import pickle
 import struct
 from dataclasses import dataclass
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -376,6 +376,46 @@ def pack(obj: Any) -> bytes:
                 append(_B_TRUE)
             elif x is False:
                 append(_B_FALSE)
+            elif tx is tuple:
+                # One level of nested scalar tuples: causal stamps and
+                # span sids ride inside every traced cross-shard envelope
+                # meta, and they must not knock the whole meta off the
+                # fast path.  Byte-identical to _pack_into.
+                sub: Optional[List[bytes]] = [_B_TUPLE, _U32.pack(len(x))]
+                sapp = sub.append
+                for y in x:
+                    ty = type(y)
+                    if ty is int:
+                        if -(2**63) <= y < 2**63:
+                            sapp(_B_INT)
+                            sapp(_I64.pack(y))
+                        else:
+                            sub = None
+                            break
+                    elif ty is float:
+                        sapp(_B_FLOAT)
+                        sapp(_F64.pack(y))
+                    elif ty is bytes:
+                        sapp(_B_BYTES)
+                        sapp(_U32.pack(len(y)))
+                        sapp(y)
+                    elif ty is str:
+                        raw = y.encode("utf-8")
+                        sapp(_B_STR)
+                        sapp(_U32.pack(len(raw)))
+                        sapp(raw)
+                    elif y is None:
+                        sapp(_B_NONE)
+                    elif y is True:
+                        sapp(_B_TRUE)
+                    elif y is False:
+                        sapp(_B_FALSE)
+                    else:
+                        sub = None
+                        break
+                if sub is None:
+                    break
+                out.extend(sub)
             else:
                 break
         else:
@@ -454,6 +494,45 @@ def unpack(buf: bytes) -> Any:
                         append(True)
                     elif t == _T_FALSE:
                         append(False)
+                    elif t == _T_TUPLE:
+                        # one nested level of scalars, mirroring pack()
+                        sub_n = _U32.unpack_from(buf, pos)[0]
+                        pos += 4
+                        sub: List[Any] = []
+                        for _ in range(sub_n):
+                            if pos >= n:
+                                ok = False
+                                break
+                            st = buf[pos]
+                            pos += 1
+                            if st == _T_INT:
+                                sub.append(_I64.unpack_from(buf, pos)[0])
+                                pos += 8
+                            elif st == _T_FLOAT:
+                                sub.append(_F64.unpack_from(buf, pos)[0])
+                                pos += 8
+                            elif st == _T_BYTES:
+                                ln = _U32.unpack_from(buf, pos)[0]
+                                pos += 4
+                                sub.append(buf[pos : pos + ln])
+                                pos += ln
+                            elif st == _T_STR:
+                                ln = _U32.unpack_from(buf, pos)[0]
+                                pos += 4
+                                sub.append(buf[pos : pos + ln].decode("utf-8"))
+                                pos += ln
+                            elif st == _T_NONE:
+                                sub.append(None)
+                            elif st == _T_TRUE:
+                                sub.append(True)
+                            elif st == _T_FALSE:
+                                sub.append(False)
+                            else:
+                                ok = False
+                                break
+                        if not ok:
+                            break
+                        append(tuple(sub))
                     else:
                         ok = False
                         break

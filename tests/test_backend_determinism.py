@@ -534,6 +534,55 @@ def test_span_fingerprints_three_way_bit_identical():
     assert fp_c == fp_t == fp_s  # span streams bit-identical across backends
 
 
+# ----------------------------------- adaptive-lookahead invariance (v2)
+@contextmanager
+def _lookahead_mode(mode: str):
+    from repro.sim.shard import LOOKAHEAD_ENV
+
+    old = os.environ.get(LOOKAHEAD_ENV)
+    os.environ[LOOKAHEAD_ENV] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(LOOKAHEAD_ENV, None)
+        else:
+            os.environ[LOOKAHEAD_ENV] = old
+
+
+def test_adaptive_lookahead_bit_identical_to_fixed():
+    """Protocol v2's window bound gates only *when* a worker pauses to
+    exchange, never the (fire_time, stamp) execution order — so adaptive
+    lookahead must reproduce the fixed-lookahead (v1-bound) run exactly:
+    same results, same span fingerprints, on all three backends.  The
+    only thing allowed to change is the number of windows."""
+    runs = {}
+    window_stats = {}
+    for mode in ("fixed", "adaptive"):
+        with _lookahead_mode(mode):
+            runs[mode] = _all_backends(_span_mix_run)
+            with _shards(2):
+                _, st = _fig3a_series_returning("sharded")
+            window_stats[mode] = st
+    for mode, got in runs.items():
+        assert got["coroutines"] == got["threads"] == got["sharded"], mode
+    assert runs["fixed"] == runs["adaptive"]
+    # the knob is real: both modes ran, surfaced in stats, and widening
+    # the idle provision can only merge windows, never add them
+    assert window_stats["fixed"]["lookahead_mode"] == "fixed"
+    assert window_stats["adaptive"]["lookahead_mode"] == "adaptive"
+    assert window_stats["fixed"]["lookahead_mult_peak"] == 2.0
+    assert window_stats["adaptive"]["windows"] <= window_stats["fixed"]["windows"]
+
+
+def test_lookahead_mode_rejects_garbage():
+    from repro.sim.errors import SimError
+
+    with _lookahead_mode("turbo"):
+        with pytest.raises(SimError, match="adaptive"):
+            Scheduler(2, backend="sharded")
+
+
 def test_spans_off_by_default_leaves_times_unchanged():
     """Enabling span tracing must not perturb a single simulated time."""
     from repro.util.spans import SpanBuffer

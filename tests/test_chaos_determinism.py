@@ -115,6 +115,37 @@ def test_chaos_runs_bit_identical_across_backends(seed, plan):
     assert other[1] != ref[1] or other[2] != ref[2]
 
 
+@contextmanager
+def _lookahead_mode(mode: str):
+    from repro.sim.shard import LOOKAHEAD_ENV
+
+    old = os.environ.get(LOOKAHEAD_ENV)
+    os.environ[LOOKAHEAD_ENV] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(LOOKAHEAD_ENV, None)
+        else:
+            os.environ[LOOKAHEAD_ENV] = old
+
+
+def test_chaos_identical_across_lookahead_modes():
+    """Protocol v2's adaptive window bound must not perturb the fault
+    timeline: under an armed FaultPlan, fixed- and adaptive-lookahead
+    runs produce identical results, trace fingerprints, and span
+    fingerprints on every backend."""
+    spec = "seed=13,drop=0.2,dup=0.1,jitter=1e-6"
+    out = {}
+    for mode in ("fixed", "adaptive"):
+        with _lookahead_mode(mode):
+            out[mode] = _all_backends(lambda b: _run(b, spec, seed=13))
+    for mode, got in out.items():
+        assert got["threads"] == got["coroutines"], mode
+        assert got["sharded"] == got["coroutines"], mode
+    assert out["fixed"] == out["adaptive"]
+
+
 def test_zero_rate_plan_identical_to_disabled():
     """An armed plan with all rates zero is simulation-invisible."""
     for backend in ("coroutines", "threads"):

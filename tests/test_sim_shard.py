@@ -17,11 +17,20 @@ from repro.sim import shard as shard_mod
 from repro.sim.coop import Scheduler
 from repro.sim.errors import RankFailure, SimError
 from repro.sim.shard import (
+    LOOKAHEAD_ENV,
     SHARDS_ENV,
     _BLOB_MIN,
+    _Channel,
+    _K_CATCH,
+    _K_ENV2,
+    _K_FAIL,
+    _K_SENT,
+    _SENTINEL_FRAME,
+    _decode_env_frame,
     _decode_frame,
     _describe_failure,
     _dumps,
+    _encode_env_frame,
     _encode_frame,
     _join_blobs,
     _loads,
@@ -30,6 +39,8 @@ from repro.sim.shard import (
     ShardedScheduler,
 )
 from repro.util.trace import TraceBuffer
+
+_INF = float("inf")
 
 
 # ------------------------------------------------------- function marshalling
@@ -116,6 +127,201 @@ def test_frame_roundtrip_with_blobs():
 def test_frame_roundtrip_empty():
     kind, payload, blobs = _decode_frame(_encode_frame(2, None, []))
     assert kind == 2 and payload is None and blobs == []
+
+
+# --------------------------------------------- protocol-v2 batch frame codec
+def test_env_frame_roundtrip_empty_batch():
+    frame = _encode_env_frame(3, 1.5e-6, _INF, [])
+    assert frame[0] == _K_ENV2
+    n_done, h, e_other, envs = _decode_env_frame(frame)
+    assert (n_done, h, e_other, envs) == (3, 1.5e-6, _INF, [])
+
+
+def test_env_frame_hot_put_meta_skips_pickler():
+    """The hot cross-shard put shape (flat scalar/bytes tuple) must ride
+    the tagged serializer's raw length-prefixed path: the payload bytes
+    appear verbatim in the frame, no pickle opcodes around them."""
+    big = os.urandom(300)  # > the 256 B raw-frame boundary
+    meta = (0, 1, 64, big, 7, None, None, 300, None)
+    env = (2.5e-6, (1.25e-6, 0, 3), "put", meta)
+    frame = _encode_env_frame(1, 9.5e-7, 2.5e-6, [env])
+    assert big in frame  # raw path: verbatim payload bytes
+    n_done, h, e_other, envs = _decode_env_frame(frame)
+    assert (n_done, h, e_other) == (1, 9.5e-7, 2.5e-6)
+    assert envs == [env]
+
+
+def test_env_frame_roundtrip_mixed_batch():
+    """Packed metas, pickled callables, nested containers, and the
+    whole-envelope fallback for a stamp outside the fixed layout — all in
+    one batch, in order."""
+    small = b"x" * 255  # just under the raw-frame boundary
+    at = b"y" * 256  # exactly at it
+    envs = [
+        (1e-6, (0.0, 0, 1), "put", (0, 1, 0, small, 1, None, None, 255, None)),
+        (2e-6, (0.5e-6, 1, 2, 3), "am", (1, 0, 7, at, 256, 9, {"k": (1, 2.5)})),
+        (3e-6, (0.0, 2, 3), "rpc", (lambda x: x * 3, 14)),
+        (4e-6, ("odd-stamp",), "wake", 5),  # stamp[0] not a float: raw fallback
+        (5e-6, (0.0, 3, 4), "cpl", (11, True, None)),
+    ]
+    n_done, h, e_other, out = _decode_env_frame(_encode_env_frame(0, _INF, _INF, envs))
+    assert (n_done, h, e_other) == (0, _INF, _INF)
+    assert len(out) == len(envs)
+    for got, want in zip(out, envs):
+        if callable(want[3][0] if isinstance(want[3], tuple) else None):
+            assert got[:3] == want[:3]
+            fn, arg = got[3]
+            assert fn(arg) == 42
+        else:
+            assert got == want
+
+
+def test_env_frame_fuzz_roundtrip():
+    """Seeded fuzz over batch sizes, stamp shapes, payload sizes straddling
+    the 256 B raw boundary, and meta shapes."""
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    kinds = ["put", "get", "am", "cpl", "wake", "custom-kind"]
+    for _ in range(60):
+        envs = []
+        for _ in range(rng.randrange(0, 7)):
+            stamp = tuple(
+                [rng.random() * 1e-5]
+                + [rng.randrange(-(2**40), 2**40) for _ in range(rng.randrange(0, 4))]
+            )
+            shape = rng.randrange(4)
+            if shape == 0:
+                meta = (
+                    rng.randrange(16),
+                    rng.randrange(16),
+                    rng.randrange(4096),
+                    os.urandom(rng.choice([0, 1, 255, 256, 257, 600])),
+                    rng.randrange(100),
+                    None,
+                    None,
+                    rng.randrange(2**20),
+                    None,
+                )
+            elif shape == 1:
+                meta = {"a": [1, 2.5, "s"], "b": os.urandom(rng.randrange(300))}
+            elif shape == 2:
+                meta = rng.randrange(1000)
+            else:
+                meta = (rng.randrange(16), (rng.random(), rng.randrange(8), 1), b"tok")
+            envs.append(
+                (rng.random() * 1e-4, stamp, rng.choice(kinds), meta)
+            )
+        hdr = (
+            rng.randrange(64),
+            rng.choice([_INF, rng.random() * 1e-4]),
+            rng.choice([_INF, rng.random() * 1e-4]),
+        )
+        got = _decode_env_frame(_encode_env_frame(hdr[0], hdr[1], hdr[2], envs))
+        assert got == (hdr[0], hdr[1], hdr[2], envs)
+
+
+# ----------------------------------------------- protocol-v2 channel barrier
+def _channel_pair():
+    import multiprocessing as mp
+
+    a, b = mp.Pipe()
+    return _Channel(0, {1: a}), _Channel(1, {0: b})
+
+
+def _on_thread(fn):
+    """Run ``fn`` on a thread, return a handle whose .result() joins."""
+    import threading
+
+    box = {}
+
+    def run():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # surfaced by .result()
+            box["error"] = exc
+
+    t = threading.Thread(target=run)
+    t.start()
+
+    class H:
+        def result(self):
+            t.join(timeout=30)
+            assert not t.is_alive(), "peer side of the exchange hung"
+            if "error" in box:
+                raise box["error"]
+            return box["value"]
+
+    return H()
+
+
+def test_exchange_window_single_barrier_and_sentinels():
+    c0, c1 = _channel_pair()
+    env = (2e-6, (0.0, 0, 1), "wake", 3)
+
+    # window 1: 0 ships an envelope, 1 is idle — both pay a full frame
+    # (first exchange: no cached header to fall back on)
+    peer = _on_thread(lambda: c1.exchange_window({}, 0, _INF, False))
+    inc0, done0, fail0, floor0, traffic0 = c0.exchange_window({1: [env]}, 0, 1e-6, False)
+    inc1, done1, fail1, floor1, traffic1 = peer.result()
+    assert inc0 == [] and not fail0
+    assert inc1 == [env] and not fail1
+    assert floor0 == _INF  # 1 advertised (h=inf, e=inf)
+    assert floor1 == 1e-6  # 0's piggybacked pre-insertion horizon
+    assert traffic0 and traffic1
+    assert c0.n_sentinels_sent == 0 and c1.n_sentinels_sent == 0
+    assert c0.n_env_sent == 1 and c1.n_env_recv == 1
+
+    # window 2: both idle, headers unchanged — one byte each way
+    b0_before, b1_before = c0.bytes_sent, c1.bytes_sent
+    peer = _on_thread(lambda: c1.exchange_window({}, 0, _INF, False))
+    inc0, _, _, floor0, traffic0 = c0.exchange_window({}, 0, 1e-6, False)
+    inc1, _, _, floor1, traffic1 = peer.result()
+    assert inc0 == [] and inc1 == []
+    assert floor0 == _INF and floor1 == 1e-6  # cached headers still in force
+    assert not traffic0 and not traffic1
+    assert c0.n_sentinels_sent == 1 and c1.n_sentinels_sent == 1
+    assert c0.bytes_sent - b0_before == 1 == len(_SENTINEL_FRAME)
+    assert c1.bytes_sent - b1_before == 1
+
+    # window 3: 1's header changes (a rank finished) — full frame one way,
+    # sentinel the other
+    peer = _on_thread(lambda: c1.exchange_window({}, 1, _INF, False))
+    inc0, done0, _, _, _ = c0.exchange_window({}, 0, 1e-6, False)
+    peer.result()
+    assert done0 == 1  # the refreshed header reached us
+    assert c0.n_sentinels_sent == 2 and c1.n_sentinels_sent == 1
+
+
+def test_exchange_catchup_roundtrip():
+    c0, c1 = _channel_pair()
+    peer = _on_thread(lambda: c1.exchange_catchup(_INF, 3))
+    m0, done0 = c0.exchange_catchup(_INF, 1)
+    m1, done1 = peer.result()
+    assert m0 == _INF and m1 == _INF
+    assert done0 == 3 and done1 == 1
+
+
+def test_exchange_window_fail_frame():
+    c0, c1 = _channel_pair()
+    peer = _on_thread(lambda: c1.exchange_window({}, 0, _INF, True))
+    _, _, fail_seen, _, _ = c0.exchange_window({}, 0, 1e-6, False)
+    peer.result()
+    assert fail_seen
+
+
+def test_sentinel_before_any_header_raises():
+    c0, _c1 = _channel_pair()
+    conn1 = _c1.conns[0]
+    peer = _on_thread(lambda: (conn1.send_bytes(_SENTINEL_FRAME), conn1.recv_bytes()))
+    with pytest.raises(SimError, match="sentinel before any header"):
+        c0.exchange_window({}, 0, 1e-6, False)
+    peer.result()
+
+
+def test_frame_kind_bytes_are_distinct():
+    assert len({_K_ENV2, _K_SENT, _K_CATCH, _K_FAIL}) == 4
+    assert _SENTINEL_FRAME == bytes([_K_SENT])
 
 
 # ------------------------------------------------------------ shard planning
