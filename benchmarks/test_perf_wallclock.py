@@ -24,7 +24,7 @@ import os
 
 import pytest
 
-from repro.bench.perf_harness import GATES, WORKLOADS, run_harness
+from repro.bench.perf_harness import GATES, KV_GATE, WORKLOADS, run_harness
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
 OUT_PATH = os.environ.get("REPRO_PERF_OUT", "BENCH_perf.json")
@@ -98,13 +98,19 @@ def test_gate_entries_recorded(report):
     """Every gate template produces a filled entry; the sharded gate's
     ratio is recorded honestly but never asserted on (core-count bound)."""
     by_name = {g["name"]: g for g in report["gates"]}
-    assert set(by_name) == {g["name"] for g in GATES}
+    assert set(by_name) == {g["name"] for g in GATES} | {KV_GATE["name"]}
     cvt = by_name["coroutines_vs_threads"]
     assert cvt["measured_speedup"] is not None
     assert isinstance(cvt["passed"], bool)
     svc = by_name["sharded_vs_coroutines"]
     assert svc["measured_speedup"] is not None
     assert "requirements_met" in svc
+    # the aggregation gate is simulated-time: always filled, never advisory
+    kv = by_name[KV_GATE["name"]]
+    assert kv["measured_speedup"] is not None
+    assert isinstance(kv["passed"], bool)
+    assert not kv.get("advisory")
+    assert kv["ablation"]["per_op_rpc"]["batch_size"] == 1
     # legacy single-gate key is preserved for older tooling
     assert report["gate"] == report["gates"][0]
 
@@ -146,7 +152,7 @@ def test_profile_phase_breakdown_in_report(report):
 def test_bench_perf_json_written(report):
     with open(OUT_PATH) as f:
         on_disk = json.load(f)
-    assert on_disk["schema"] == "repro-perf/2"
+    assert on_disk["schema"] == "repro-perf/3"
     assert "gate" in on_disk and "gates" in on_disk
     assert on_disk["shards"] == SMOKE_SHARDS
     assert on_disk["cpus"] == os.cpu_count()

@@ -4,124 +4,67 @@ The paper's DHT benchmark blocks per insert to expose latency; real
 latency-bound applications (the genome assembler of [13]) instead
 *aggregate*: updates are buffered per destination rank and shipped as one
 RPC per full buffer, converting a latency-bound workload into an
-injection-rate-bound one.  :class:`AggregatingCounter` implements that
-pattern for accumulate-style updates (k-mer counts, histogram bins,
-graph-degree tallies):
+injection-rate-bound one.
 
-- ``add(key, delta)`` buffers locally; a full buffer flushes as a single
-  ``rpc_ff`` whose payload is two parallel arrays (keys, deltas);
-- ``flush()`` pushes out partial buffers;
-- ``sync()`` makes *global* quiescence certain: after it returns, every
-  update issued by any rank before its ``sync()`` is applied.  It uses a
-  counting protocol over an all-reduce: repeat until the number of sent
-  and applied batches agree globally (the standard termination detection
-  for one-sided update streams).
+Historically this module carried its own batching implementation; that
+machinery now lives in the runtime proper as
+:class:`repro.upcxx.aggregator.AggStore` (destination batching, pluggable
+combines, credit flow control, counting quiescence, hot-key caching).
+:class:`AggregatingCounter` remains as a thin compatibility shim: an
+``AggStore`` with the additive combine and none of the optional layers,
+preserving the original wire pattern — one ``rpc_ff`` per full buffer
+carrying two parallel int64 arrays, ``map_insert`` charged per update at
+the target.  ``sync()`` now uses the aggregator's counting-based
+termination detection (one all-reduce of per-destination sent counts plus
+a local wait) instead of the old repeated all-reduce polling loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Optional
 
 import repro.upcxx as upcxx
-from repro.apps.dht.rpc_only import hash_target
+from repro.upcxx.aggregator import AggStore
 
-
-def _apply_batch(dobj: upcxx.DistObject, keys, deltas) -> None:
-    """RPC body: merge one batch into the local shard."""
-    rt = upcxx.current_runtime()
-    state = dobj.value
-    karr = keys.to_numpy() if hasattr(keys, "to_numpy") else np.asarray(keys)
-    darr = deltas.to_numpy() if hasattr(deltas, "to_numpy") else np.asarray(deltas)
-    rt.charge_sw(rt.cpu.map_insert * len(karr))
-    shard = state["shard"]
-    for k, d in zip(karr.tolist(), darr.tolist()):
-        shard[k] = shard.get(k, 0) + d
-    state["applied"] += 1
-
-
-def _read_count(dobj: upcxx.DistObject, key: int) -> int:
-    rt = upcxx.current_runtime()
-    rt.charge_sw(rt.cpu.map_lookup)
-    return dobj.value["shard"].get(key, 0)
+__all__ = ["AggregatingCounter"]
 
 
 class AggregatingCounter:
     """A distributed counting table with per-destination update batching."""
 
     def __init__(self, batch_size: int = 64, team: Optional[upcxx.Team] = None):
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self.team = team if team is not None else upcxx.team_world()
+        self._store = AggStore("+", batch_size=batch_size, team=team)
+        self.team = self._store.team
         self.batch_size = batch_size
-        self.state = {"shard": {}, "applied": 0}
-        self._dobj = upcxx.DistObject(self.state, team=self.team)
-        n = self.team.rank_n()
-        self._buf_keys: List[List[int]] = [[] for _ in range(n)]
-        self._buf_deltas: List[List[int]] = [[] for _ in range(n)]
-        self.batches_sent = 0
 
     # ---------------------------------------------------------------- update
     def target_of(self, key: int) -> int:
-        return hash_target(key, self.team.rank_n())
+        return self._store.dest_of(key)
 
     def add(self, key: int, delta: int = 1) -> None:
         """Buffer one update; flushes the destination's buffer when full."""
-        t = self.target_of(key)
-        self._buf_keys[t].append(key)
-        self._buf_deltas[t].append(delta)
-        if len(self._buf_keys[t]) >= self.batch_size:
-            self._flush_dest(t)
-
-    def _flush_dest(self, t: int) -> None:
-        if not self._buf_keys[t]:
-            return
-        keys = np.asarray(self._buf_keys[t], dtype=np.int64)
-        deltas = np.asarray(self._buf_deltas[t], dtype=np.int64)
-        self._buf_keys[t] = []
-        self._buf_deltas[t] = []
-        self.batches_sent += 1
-        upcxx.rpc_ff(
-            self.team[t], _apply_batch, self._dobj, upcxx.make_view(keys), upcxx.make_view(deltas)
-        )
+        self._store.update(key, delta)
 
     def flush(self) -> None:
         """Push out all partially-filled buffers."""
-        for t in range(self.team.rank_n()):
-            self._flush_dest(t)
+        self._store.flush()
+
+    @property
+    def batches_sent(self) -> int:
+        return self._store.batches_sent
 
     # ------------------------------------------------------------ quiescence
     def sync(self) -> None:
-        """Global quiescence: all updates sent anywhere are applied.
-
-        Standard counting termination: iterate (progress; all-reduce sent
-        and applied totals) until they match twice in a row.
-        """
-        self.flush()
-        rt = upcxx.current_runtime()
-        stable = 0
-        while stable < 2:
-            upcxx.progress()
-            totals = upcxx.reduce_all(
-                np.array([self.batches_sent, self.state["applied"]], dtype=np.int64),
-                lambda a, b: a + b,
-                team=self.team,
-            ).wait()
-            if int(totals[0]) == int(totals[1]):
-                stable += 1
-            else:
-                stable = 0
-                # let in-flight batches land before re-counting
-                rt.progress()
+        """Global quiescence: all updates sent anywhere are applied."""
+        self._store.quiesce()
 
     # --------------------------------------------------------------- queries
     def count(self, key: int) -> upcxx.Future:
         """Asynchronous lookup of a key's global count (after sync())."""
-        return upcxx.rpc(self.team[self.target_of(key)], _read_count, self._dobj, key)
+        return self._store.read(key, default=0)
 
     def local_items(self) -> Dict[int, int]:
-        return dict(self.state["shard"])
+        return self._store.local_items()
 
     def local_size(self) -> int:
-        return len(self.state["shard"])
+        return self._store.local_size()

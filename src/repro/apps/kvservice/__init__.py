@@ -1,0 +1,25 @@
+"""repro.apps.kvservice — a served KV workload over the aggregation layer.
+
+ROADMAP item 3: the DHT as a *service* — open-loop client traffic
+(Poisson + bursty arrivals, Zipf key skew, configurable read/write mix)
+pushed through front-end ranks into an aggregated, hot-key-cached
+distributed store, with SLO-grade latency reporting (p50/p95/p99/p999)
+and a measurable saturation knee.  See ``docs/kvservice.md``.
+"""
+
+from repro.apps.kvservice.service import (
+    SCALES,
+    KvService,
+    default_config,
+    kv_rank_body,
+)
+from repro.apps.kvservice.traffic import TrafficModel, zipf_cdf
+
+__all__ = [
+    "KvService",
+    "TrafficModel",
+    "zipf_cdf",
+    "kv_rank_body",
+    "default_config",
+    "SCALES",
+]

@@ -1,0 +1,218 @@
+"""The KV service: a DHT front end over the runtime aggregation layer.
+
+Every rank is both a *front end* (serving a :class:`TrafficModel` client
+stream) and a *shard owner* (holding a slice of the key space).  Writes
+flow through an :class:`repro.upcxx.aggregator.AggStore` with
+last-writer-wins combine — destination-batched, dwell-bounded, credit
+flow-controlled — and reads go through its hot-key cache with
+watcher-based invalidation.
+
+SLO measurement is open loop: each request is stamped with its *arrival*
+time from the traffic model, and its latency is ``completion - arrival``
+(sojourn time), so queueing delay from a saturated service is measured,
+not hidden.  Write completion is the aggregation ack of the batch that
+carried the update; read completion is future fulfillment (cache hits
+complete inline).  Latencies feed per-op-kind
+:class:`repro.util.metrics.DwellHistogram` instances whose p50/p95/p99/
+p999 come out in :meth:`KvService.result`.
+
+``kv_rank_body`` is the SPMD body: it paces the stream in *simulated*
+time (sleeping until each arrival via a scheduler timer), issues
+requests asynchronously, and drains with the aggregator's counting
+quiescence.  Every field of the returned record is a deterministic
+function of the simulation, so the three scheduler backends must agree
+bit-for-bit — pinned by ``tests/test_apps_kvservice.py`` and the chaos
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import repro.upcxx as upcxx
+from repro.apps.kvservice.traffic import TrafficModel
+from repro.upcxx.aggregator import AggStore
+from repro.util.metrics import DwellHistogram
+
+_SUM_MASK = (1 << 63) - 1
+
+#: request-count scales; "xl" is the million-request configuration
+SCALES: Dict[str, dict] = {
+    "tiny": {"ranks": 8, "n_requests": 256},
+    "full": {"ranks": 16, "n_requests": 4096},
+    "xl": {"ranks": 32, "n_requests": 32768},
+}
+
+
+def default_config(scale: str = "tiny") -> dict:
+    """Baseline service+traffic configuration for one benchmark scale."""
+    cfg = {
+        "ppn": 4,
+        "rate": 200_000.0,  # offered load per front-end rank (req/s)
+        "read_fraction": 0.9,
+        "zipf_s": 1.1,
+        "n_keys": 1024,
+        "burst_prob": 0.02,
+        "burst_mult": 4.0,
+        "burst_len": 32,
+        "batch_size": 64,
+        "credits": 8,
+        "max_dwell": 40e-6,
+        "cache_capacity": 128,
+        "aggregate": True,
+    }
+    cfg.update(SCALES[scale])
+    return cfg
+
+
+class KvService:
+    """Front-end + shard-owner state of one rank (collective constructor)."""
+
+    def __init__(
+        self,
+        *,
+        batch_size: int = 64,
+        credits: Optional[int] = None,
+        max_dwell: Optional[float] = None,
+        cache_capacity: int = 0,
+        team=None,
+    ):
+        self._rt = upcxx.current_runtime()
+        self._store = AggStore(
+            "replace",
+            batch_size=batch_size,
+            team=team,
+            max_dwell=max_dwell,
+            credits=credits,
+            cache_capacity=cache_capacity,
+            on_batch_flushed=self._batch_flushed,
+            on_batch_acked=self._batch_acked,
+        )
+        n = self._store.team.rank_n()
+        #: arrival stamps of writes buffered per destination, moved to
+        #: ``_inflight`` when their batch flushes (seq-keyed)
+        self._pending_w: List[List[float]] = [[] for _ in range(n)]
+        self._inflight: Dict[int, List[float]] = {}
+        self.read_lat = DwellHistogram()
+        self.write_lat = DwellHistogram()
+        self.reads_issued = 0
+        self.reads_done = 0
+        self.writes_issued = 0
+        self.writes_done = 0
+        self._read_sum = 0
+
+    # ------------------------------------------------------------ operations
+    def put(self, key: int, value: int, t_arrival: float) -> None:
+        """Issue one write (open loop; completes at its batch's ack)."""
+        self.writes_issued += 1
+        self._pending_w[self._store.dest_of(key)].append(t_arrival)
+        self._store.update(key, value)
+
+    def get(self, key: int, t_arrival: float) -> None:
+        """Issue one read (open loop; cache hits complete inline)."""
+        self.reads_issued += 1
+        self._store.read(key, default=0).then(
+            lambda v, t=t_arrival: self._read_done(v, t)
+        )
+
+    def poll(self) -> None:
+        """Pacing hook: honor the aggregator's dwell deadlines."""
+        self._store.poll()
+
+    # ----------------------------------------------------------- completions
+    def _batch_flushed(self, dest: int, seq: int, n: int) -> None:
+        pend = self._pending_w[dest]
+        if pend:
+            self._inflight[seq] = pend
+            self._pending_w[dest] = []
+
+    def _batch_acked(self, dest: int, seq: int, t_now: float) -> None:
+        for t_arr in self._inflight.pop(seq, ()):
+            self.write_lat.add(t_now - t_arr)
+            self.writes_done += 1
+
+    def _read_done(self, value, t_arrival: float) -> None:
+        self.reads_done += 1
+        if isinstance(value, int):
+            self._read_sum = (self._read_sum + value) & _SUM_MASK
+        self.read_lat.add(self._rt.now() - t_arrival)
+
+    # ----------------------------------------------------------------- drain
+    def drain(self) -> None:
+        """Collective: settle all writes, invalidations, acks, and reads."""
+        self._store.quiesce()
+        self._rt.wait_quiet(
+            lambda: self.reads_done >= self.reads_issued, "kv::drain-reads"
+        )
+        upcxx.barrier(team=self._store.team)
+
+    # ---------------------------------------------------------------- export
+    def result(self) -> dict:
+        """Deterministic per-rank record (bit-identical across backends)."""
+        s = self._store.stats()
+        return {
+            "reads": self.reads_done,
+            "writes": self.writes_done,
+            "read_sum": self._read_sum,
+            "shard_size": self._store.local_size(),
+            "batches_sent": s["batches_sent"],
+            "updates_sent": s["updates_sent"],
+            "credit_stalls": s["credit_stalls"],
+            "credit_stall_s": s["credit_stall_s"],
+            "cache_hits": s["cache_hits"],
+            "cache_misses": s["cache_misses"],
+            "cache_invalidations": s["cache_invalidations"],
+            "read_lat": self.read_lat.as_dict(),
+            "write_lat": self.write_lat.as_dict(),
+        }
+
+
+def _sleep_until(rt, t: float) -> None:
+    """Simulated-time sleep: park the rank until the clock reaches ``t``."""
+    sched = rt.sched
+    rank = rt.rank
+    sched.post_at(t, lambda: sched.wake(rank, t))
+    rt.wait_quiet(lambda: rt.now() >= t, "kv::pace")
+
+
+def kv_rank_body(cfg: dict) -> dict:
+    """SPMD body: pace the configured traffic through the service.
+
+    Returns the rank's deterministic result record plus its elapsed
+    simulated serving time (``t_serve_s``) — the driver derives achieved
+    throughput from the slowest rank's elapsed time.
+    """
+    aggregate = cfg.get("aggregate", True)
+    svc = KvService(
+        batch_size=cfg["batch_size"] if aggregate else 1,
+        credits=cfg.get("credits") if aggregate else None,
+        max_dwell=cfg.get("max_dwell") if aggregate else None,
+        cache_capacity=cfg.get("cache_capacity", 0) if aggregate else 0,
+    )
+    rt = upcxx.current_runtime()
+    tm = TrafficModel(
+        rt.rng.spawn("kv-traffic").py,
+        rate=cfg["rate"],
+        n_requests=cfg["n_requests"],
+        read_fraction=cfg.get("read_fraction", 0.9),
+        zipf_s=cfg.get("zipf_s", 1.1),
+        n_keys=cfg.get("n_keys", 1024),
+        burst_prob=cfg.get("burst_prob", 0.0),
+        burst_mult=cfg.get("burst_mult", 4.0),
+        burst_len=cfg.get("burst_len", 32),
+    )
+    upcxx.barrier()
+    t_start = upcxx.sim_now()
+    for dt, op, key, val in tm.requests():
+        t_arr = t_start + dt
+        if rt.now() < t_arr:
+            _sleep_until(rt, t_arr)
+        if op == "get":
+            svc.get(key, t_arr)
+        else:
+            svc.put(key, val, t_arr)
+        svc.poll()
+    svc.drain()
+    out = svc.result()
+    out["t_serve_s"] = upcxx.sim_now() - t_start
+    return out

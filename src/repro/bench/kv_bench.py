@@ -1,0 +1,206 @@
+"""KV-service benchmarking: aggregation ablation + offered-load sweep.
+
+Two measurements, both in *simulated* time (deterministic, so they are
+host-independent and safe to hard-gate):
+
+- :func:`aggregation_ablation` — the Fig. 9 motif reproduced through the
+  runtime aggregation layer: an identical write-heavy workload served
+  once with destination batching (batch >= 64) and once as per-op RPC
+  (batch 1 through the same code path), reporting the simulated
+  updates/s ratio.  This feeds the non-advisory
+  ``kv_aggregation_vs_rpc`` gate in ``BENCH_perf.json``.
+- :func:`offered_load_sweep` — the saturation-knee procedure
+  (docs/kvservice.md): walk offered load up a multiplier ladder at a
+  fixed service configuration, recording achieved throughput and
+  p50/p95/p99/p999 request latency (cross-rank merged
+  :class:`DwellHistogram`) per point.  The *knee* is the first point
+  whose achieved throughput falls below ``KNEE_EFFICIENCY`` of offered;
+  capacity is the best achieved throughput on the curve.
+
+Standalone usage::
+
+    PYTHONPATH=src python -m repro.bench.kv_bench --scale tiny
+    PYTHONPATH=src python -m repro.bench.kv_bench --scale tiny --sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+import repro.upcxx as upcxx
+from repro.apps.kvservice import default_config, kv_rank_body
+from repro.util.metrics import DwellHistogram
+
+#: offered-load multipliers the sweep walks (relative to the scale's base
+#: per-rank rate); spans well below and well past the saturation knee
+SWEEP_MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: achieved/offered ratio below which a sweep point counts as saturated
+KNEE_EFFICIENCY = 0.9
+
+#: write-latency drain wait is part of serving time; seed is fixed so the
+#: measurement is one reproducible simulation, not a statistical sample
+KV_SEED = 7
+
+
+def run_kv(cfg: dict, backend: str = "coroutines", seed: int = KV_SEED,
+           spans=None, faults=None) -> Tuple[list, dict]:
+    """One kvservice run; returns (per-rank records, sched stats)."""
+    stats: dict = {}
+    results = upcxx.run_spmd(
+        lambda: kv_rank_body(cfg),
+        cfg["ranks"],
+        platform="haswell",
+        ppn=cfg["ppn"],
+        seed=seed,
+        backend=backend,
+        sched_stats=stats,
+        spans=spans,
+        faults=faults,
+    )
+    return list(results), stats
+
+
+def _merge_latencies(results: Sequence[dict], field: str) -> DwellHistogram:
+    h = DwellHistogram()
+    for r in results:
+        h.merge(DwellHistogram.from_dict(r[field]))
+    return h
+
+
+def summarize_point(cfg: dict, results: Sequence[dict]) -> dict:
+    """Fold per-rank records into one sweep point (JSON-ready)."""
+    total = sum(r["reads"] + r["writes"] for r in results)
+    t_serve = max(r["t_serve_s"] for r in results)
+    lat = _merge_latencies(results, "read_lat")
+    lat.merge(_merge_latencies(results, "write_lat"))
+    offered = cfg["ranks"] * cfg["rate"]
+    achieved = total / t_serve if t_serve > 0 else 0.0
+    return {
+        "offered_rps": offered,
+        "achieved_rps": round(achieved, 1),
+        "utilization": round(achieved / offered, 4) if offered else 0.0,
+        "n_requests": total,
+        "t_serve_s": t_serve,
+        "p50_s": lat.percentile(50),
+        "p95_s": lat.percentile(95),
+        "p99_s": lat.percentile(99),
+        "p999_s": lat.percentile(99.9),
+        "cache_hits": sum(r["cache_hits"] for r in results),
+        "cache_misses": sum(r["cache_misses"] for r in results),
+        "credit_stalls": sum(r["credit_stalls"] for r in results),
+        "batches_sent": sum(r["batches_sent"] for r in results),
+    }
+
+
+# ------------------------------------------------------------------ ablation
+def aggregation_ablation(scale: str = "tiny", backend: str = "coroutines") -> dict:
+    """Write-heavy A/B: aggregated (batch >= 64) vs per-op RPC baseline.
+
+    The offered rate is set far above capacity so both variants run
+    injection-bound (arrival pacing never idles the loop) and the ratio
+    isolates the batching win, as in the Fig. 9 ablation.
+    """
+    cfg = default_config(scale)
+    cfg.update({
+        "read_fraction": 0.0,   # pure update stream (the HipMer shape)
+        "burst_prob": 0.0,
+        "rate": 1e9,            # saturating: pacing never sleeps
+        "cache_capacity": 0,    # isolate write-path batching
+    })
+    agg_cfg = dict(cfg, aggregate=True)
+    rpc_cfg = dict(cfg, aggregate=False)
+    out = {}
+    for name, c in (("aggregated", agg_cfg), ("per_op_rpc", rpc_cfg)):
+        results, _ = run_kv(c, backend)
+        total = sum(r["writes"] for r in results)
+        t_serve = max(r["t_serve_s"] for r in results)
+        out[name] = {
+            "updates_per_s": round(total / t_serve, 1),
+            "batches_sent": sum(r["batches_sent"] for r in results),
+            "n_updates": total,
+            "batch_size": c["batch_size"] if c["aggregate"] else 1,
+        }
+    out["speedup"] = round(
+        out["aggregated"]["updates_per_s"] / out["per_op_rpc"]["updates_per_s"], 3
+    )
+    out["scale"] = scale
+    out["ranks"] = cfg["ranks"]
+    return out
+
+
+# --------------------------------------------------------------------- sweep
+def offered_load_sweep(
+    scale: str = "tiny",
+    backend: str = "coroutines",
+    multipliers: Sequence[float] = SWEEP_MULTIPLIERS,
+) -> dict:
+    """Walk offered load past saturation; record the capacity curve."""
+    base = default_config(scale)
+    curve: List[dict] = []
+    for m in multipliers:
+        cfg = dict(base, rate=base["rate"] * m)
+        results, _ = run_kv(cfg, backend)
+        point = summarize_point(cfg, results)
+        point["multiplier"] = m
+        curve.append(point)
+        print(
+            f"[kv] x{m:<4g} offered {point['offered_rps'] / 1e6:.2f}M req/s -> "
+            f"achieved {point['achieved_rps'] / 1e6:.2f}M "
+            f"(util {point['utilization']:.2f}), "
+            f"p50 {point['p50_s'] * 1e6:.1f}us p99 {point['p99_s'] * 1e6:.1f}us "
+            f"p999 {point['p999_s'] * 1e6:.1f}us",
+            flush=True,
+        )
+    knee = next((p for p in curve if p["utilization"] < KNEE_EFFICIENCY), None)
+    capacity = max(p["achieved_rps"] for p in curve)
+    return {
+        "scale": scale,
+        "ranks": base["ranks"],
+        "base_rate_rps": base["rate"],
+        "knee_efficiency": KNEE_EFFICIENCY,
+        "curve": curve,
+        "knee": None if knee is None else {
+            "offered_rps": knee["offered_rps"],
+            "achieved_rps": knee["achieved_rps"],
+            "multiplier": knee["multiplier"],
+        },
+        "capacity_rps": capacity,
+        "capacity_per_rank_rps": round(capacity / base["ranks"], 1),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", choices=("tiny", "full", "xl"), default="tiny")
+    ap.add_argument("--backend", default="coroutines",
+                    choices=("coroutines", "threads", "sharded"))
+    ap.add_argument("--sweep", action="store_true",
+                    help="run the offered-load sweep instead of the ablation")
+    ap.add_argument("--out", default=None, help="write JSON here")
+    args = ap.parse_args(argv)
+    if args.sweep:
+        doc = offered_load_sweep(args.scale, args.backend)
+    else:
+        doc = aggregation_ablation(args.scale, args.backend)
+        print(
+            f"[kv] aggregation {doc['aggregated']['updates_per_s'] / 1e6:.2f}M vs "
+            f"per-op RPC {doc['per_op_rpc']['updates_per_s'] / 1e6:.2f}M updates/s "
+            f"-> {doc['speedup']}x",
+            flush=True,
+        )
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[kv] wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

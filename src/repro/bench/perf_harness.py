@@ -2,9 +2,10 @@
 
 Every other module in ``repro.bench`` measures *simulated* time — the
 physics of the modeled machine.  This one measures the *simulator*: for
-representative Fig. 3a / 4a / 8 workloads it runs the same simulation on
-each scheduler backend and records wall-clock seconds, scheduler events
-fired per second, rank switches per second, and peak RSS.  Results are
+representative Fig. 3a / 4a / 8 and kvservice workloads it runs the same
+simulation on each scheduler backend and records wall-clock seconds,
+scheduler events fired per second, rank switches per second, and peak
+RSS.  Results are
 written to ``BENCH_perf.json`` for the CI perf-smoke job, which compares
 backend speedup ratios (dimensionless, machine-tolerant numbers) against
 the committed baseline.
@@ -99,6 +100,27 @@ GATES = (
         ),
     },
 )
+
+#: the aggregation gate (ROADMAP item 3): unlike the wall-clock gates
+#: above it compares *simulated* write throughput — a deterministic,
+#: host-independent number — so it carries no ``requires`` and is never
+#: advisory.  Filled in by :func:`run_harness` from
+#: :func:`repro.bench.kv_bench.aggregation_ablation` whenever the
+#: ``kvservice`` workload is selected; marked skipped otherwise.
+KV_GATE = {
+    "name": "kv_aggregation_vs_rpc",
+    "workload": "kvservice",
+    "metric": "simulated updates/s aggregated(batch=64)/per-op RPC",
+    "target_speedup": 4.0,
+    "rationale": (
+        "runtime-level destination batching (the Fig. 9 HipMer motif "
+        "promoted into repro.upcxx.aggregator) must hold a >=4x simulated "
+        "write-throughput win over the per-op RPC baseline on the "
+        "write-heavy kvservice workload; the measurement is simulated "
+        "time, identical on every host and backend, so this gate is "
+        "always non-advisory"
+    ),
+}
 
 
 # ----------------------------------------------------------------- workloads
@@ -223,11 +245,28 @@ def _fig8_eadd(scale: str, backend: str) -> Tuple[object, dict]:
     return tuple(out), stats
 
 
+def _kvservice(scale: str, backend: str) -> Tuple[object, dict]:
+    """Served KV workload over the runtime aggregation layer.
+
+    Open-loop Poisson/Zipf traffic through an aggregated, hot-key-cached
+    store (docs/kvservice.md).  The per-rank result records — request
+    counts, read checksums, latency histograms, cache and credit
+    counters — are fully deterministic, so the harness's bit-identity
+    assertion covers the entire aggregation subsystem.
+    """
+    from repro.apps.kvservice import default_config
+    from repro.bench.kv_bench import run_kv
+
+    results, stats = run_kv(default_config(scale), backend)
+    return tuple(results), stats
+
+
 WORKLOADS: Dict[str, Callable[[str, str], Tuple[object, dict]]] = {
     "fig3a_latency": _fig3a_latency,
     "fig4a_dht": _fig4a_dht,
     "fig4a_dht_sweep": _fig4a_dht_sweep,
     "fig8_eadd": _fig8_eadd,
+    "kvservice": _kvservice,
 }
 
 
@@ -419,6 +458,7 @@ def run_harness(
     shards: Optional[int] = None,
     profile: Optional[bool] = None,
     sweep: bool = False,
+    kv_sweep: bool = False,
 ) -> dict:
     """Run every workload on every backend and write ``BENCH_perf.json``.
 
@@ -439,7 +479,7 @@ def run_harness(
     if shards is None:
         shards = int(os.environ.get(SHARDS_ENV) or DEFAULT_SHARDS)
     report: dict = {
-        "schema": "repro-perf/2",
+        "schema": "repro-perf/3",
         "scale": scale,
         "python": sys.version.split()[0],
         "machine": _platform.machine(),
@@ -499,8 +539,33 @@ def run_harness(
     # legacy key: older tooling reads a single dict at report["gate"]
     report["gate"] = report["gates"][0]
 
+    # aggregation gate: simulated-time A/B, so it bypasses _gate_entry's
+    # backend-pair plumbing and is never downgraded to advisory
+    kv_gate = dict(KV_GATE)
+    if "kvservice" in names:
+        from repro.bench.kv_bench import aggregation_ablation
+
+        ab = aggregation_ablation(scale, "coroutines")
+        kv_gate["measured_speedup"] = ab["speedup"]
+        kv_gate["passed"] = bool(ab["speedup"] >= kv_gate["target_speedup"])
+        kv_gate["ablation"] = ab
+        print(
+            f"[perf] kv gate: aggregated {ab['aggregated']['updates_per_s']:.0f} "
+            f"vs per-op {ab['per_op_rpc']['updates_per_s']:.0f} updates/s "
+            f"-> {ab['speedup']}x (target {kv_gate['target_speedup']}x)",
+            flush=True,
+        )
+    else:
+        kv_gate.update({"measured_speedup": None, "passed": None, "skipped": True})
+    report["gates"].append(kv_gate)
+
     if sweep:
         report["scaling"] = shard_sweep(scale=scale, repeat=max(1, repeat - 1))
+
+    if kv_sweep:
+        from repro.bench.kv_bench import offered_load_sweep
+
+        report["kv_capacity"] = offered_load_sweep(scale, "coroutines")
 
     # causal-span attribution per backend (Fig. 3a workload): where the
     # simulated round-trip time goes, plus a cross-backend fingerprint
@@ -584,6 +649,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "and record the scaling curve under the report's 'scaling' key",
     )
     ap.add_argument(
+        "--kv-sweep",
+        action="store_true",
+        help="also run the kvservice offered-load sweep (saturation knee, "
+        "capacity per rank, tail latency) under the report's 'kv_capacity' key",
+    )
+    ap.add_argument(
         "--strict-gates",
         action="store_true",
         help="exit non-zero when a non-advisory gate fails (its cpu/shard "
@@ -600,6 +671,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.shards,
         profile=args.profile,
         sweep=args.shard_sweep,
+        kv_sweep=args.kv_sweep,
     )
     if args.strict_gates:
         failed = [

@@ -57,6 +57,9 @@ class _Endpoint:
         "n_dropped",
         "n_dup",
         "n_acks",
+        "agg_batches",
+        "agg_updates",
+        "agg_credit_stall_s",
     )
 
     def __init__(self, rank: int, segment_size: int):
@@ -79,6 +82,12 @@ class _Endpoint:
         self.n_dropped = 0
         self.n_dup = 0
         self.n_acks = 0
+        # aggregation-layer injection accounting (repro.upcxx.aggregator):
+        # batches/updates this endpoint coalesced onto the wire, and the
+        # simulated time it stalled waiting for per-peer credits
+        self.agg_batches = 0
+        self.agg_updates = 0
+        self.agg_credit_stall_s = 0.0
 
 
 #: atomic ops supported by the simulated NIC (name -> (applies, returns_old))
@@ -1033,4 +1042,7 @@ class Conduit:
             "frames_dropped": sum(e.n_dropped for e in self.endpoints),
             "frames_duplicated": sum(e.n_dup for e in self.endpoints),
             "acks": sum(e.n_acks for e in self.endpoints),
+            "agg_batches": sum(e.agg_batches for e in self.endpoints),
+            "agg_updates": sum(e.agg_updates for e in self.endpoints),
+            "agg_credit_stall_s": sum(e.agg_credit_stall_s for e in self.endpoints),
         }

@@ -181,6 +181,9 @@ class Scheduler:
                 "frames_dropped",
                 "frames_duplicated",
                 "acks",
+                "agg_batches",
+                "agg_updates",
+                "agg_credit_stall_s",
             ):
                 out[key] = sum(c.stats()[key] for c in conduits)
         return out

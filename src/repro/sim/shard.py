@@ -976,12 +976,17 @@ class ShardedScheduler(CoroutineScheduler):
         ev = self._events.stats
         chan = self._chan
         n_retx = n_drop = n_dup = n_acks = 0
+        agg_b = agg_u = 0
+        agg_stall = 0.0
         for c in self._conduits:
             for ep in c.endpoints[self._local_lo : self._local_hi]:
                 n_retx += ep.n_retx
                 n_drop += ep.n_dropped
                 n_dup += ep.n_dup
                 n_acks += ep.n_acks
+                agg_b += ep.agg_batches
+                agg_u += ep.agg_updates
+                agg_stall += ep.agg_credit_stall_s
         return {
             "shard": self._shard_id,
             "ranks": [self._local_lo, self._local_hi],
@@ -1008,6 +1013,10 @@ class ShardedScheduler(CoroutineScheduler):
             "frames_dropped": n_drop,
             "frames_duplicated": n_dup,
             "acks": n_acks,
+            # aggregation-layer accounting, local endpoints only
+            "agg_batches": agg_b,
+            "agg_updates": agg_u,
+            "agg_credit_stall_s": agg_stall,
         }
 
     def _collect_metrics(self) -> dict:
@@ -1279,6 +1288,9 @@ class ShardedScheduler(CoroutineScheduler):
             d["frames_dropped"] = sum(st.get("frames_dropped", 0) for st in ps)
             d["frames_duplicated"] = sum(st.get("frames_duplicated", 0) for st in ps)
             d["acks"] = sum(st.get("acks", 0) for st in ps)
+            d["agg_batches"] = sum(st.get("agg_batches", 0) for st in ps)
+            d["agg_updates"] = sum(st.get("agg_updates", 0) for st in ps)
+            d["agg_credit_stall_s"] = sum(st.get("agg_credit_stall_s", 0.0) for st in ps)
         return d
 
 

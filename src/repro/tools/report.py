@@ -9,11 +9,12 @@ round-trip time goes:
 category  meaning
 ========  ==========================================================
 software  injection-side API/defQ overhead + completion execution
-backpressure  NIC queueing behind earlier injections
+backpressure  NIC queueing + aggregator credit-window stalls
 occupancy NIC injection occupancy (bytes streaming onto the wire)
 wire      propagation latency legs (request, reply, acks)
 attentiveness  waiting on a progress engine (inbox + compQ dwell)
 retry     reliability-layer retransmissions (fault injection)
+cache     hot-key reads served from the aggregation layer's cache
 app       application time between operations (gaps on the path)
 ========  ==========================================================
 
@@ -41,7 +42,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.util.spans import PHASES, SpanBuffer, _canon_key
 
 #: display order of attribution categories
-CATEGORIES = ["software", "backpressure", "occupancy", "wire", "attentiveness", "retry", "app"]
+CATEGORIES = [
+    "software", "backpressure", "occupancy", "wire", "attentiveness", "retry",
+    "cache", "app",
+]
 
 #: a critical-path segment: (t0, t1, category, phase, kind, sid-or-None)
 Segment = Tuple[float, float, str, str, str, Optional[tuple]]
@@ -182,10 +186,42 @@ def _dht_body():
     return (t0, upcxx.sim_now())
 
 
+def _kv_body():
+    """KV-service mix: aggregated writes + cached reads across 4 ranks.
+
+    Small credit window + hot-key cache so the walk can surface the new
+    ``backpressure`` (credit_wait) and ``cache`` (cache_hit) buckets.
+    """
+    import repro.upcxx as upcxx
+    from repro.apps.kvservice import KvService, TrafficModel
+
+    rt = upcxx.runtime_here()
+    svc = KvService(batch_size=8, credits=2, max_dwell=20e-6, cache_capacity=16)
+    tm = TrafficModel(
+        rt.rng.spawn("kv-report").py,
+        rate=500_000.0,
+        n_requests=24,
+        read_fraction=0.7,
+        zipf_s=1.2,
+        n_keys=64,
+    )
+    upcxx.barrier()
+    t0 = upcxx.sim_now()
+    for dt, op, key, val in tm.requests():
+        if op == "get":
+            svc.get(key, t0 + dt)
+        else:
+            svc.put(key, val, t0 + dt)
+        svc.poll()
+    svc.drain()
+    return (t0, upcxx.sim_now())
+
+
 #: workload name -> (body, ranks, ppn)
 WORKLOADS = {
     "fig3a": (_fig3a_body, 2, 1),
     "dht": (_dht_body, 8, 4),
+    "kv": (_kv_body, 4, 2),
 }
 
 

@@ -25,6 +25,7 @@ Collectives
     barrier, barrier_async, broadcast, reduce_one, reduce_all
 """
 
+from repro.upcxx.aggregator import AggStore
 from repro.upcxx.api import (
     compute,
     default_ppn,
@@ -144,6 +145,8 @@ __all__ = [
     "lpc_ff",
     "progress_required",
     "discharge",
+    # aggregation (HipMer-style destination batching)
+    "AggStore",
     # costs / runtime access
     "UpcxxCosts",
     "DEFAULT_COSTS",

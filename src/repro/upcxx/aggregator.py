@@ -1,0 +1,518 @@
+"""Destination-batched update aggregation (the HipMer motif as a subsystem).
+
+The paper's biggest application-level win is *update aggregation*:
+instead of paying one network round trip per DHT update, updates are
+buffered per destination rank and shipped as one RPC per full buffer,
+converting a latency-bound loop into an injection-rate-bound stream
+(Fig. 9's 5.6 -> 25.5 M updates/s).  Until now that motif lived as a
+one-off app (``repro.apps.dht.aggregating``); :class:`AggStore` promotes
+it to a reusable runtime layer, in the style of the Conveyors/HipMer
+aggregators:
+
+- **Destination batching** — ``update(key, value)`` buffers locally by
+  owner rank (``hash_target`` by default); a full buffer flushes as one
+  ``rpc_ff`` carrying parallel key/value arrays.
+- **Pluggable combine** — the target merges each update into its shard
+  with a per-store combine function (``"+"``, ``"replace"``, ``"min"``,
+  ``"max"`` or any callable).  The combine is registered locally at
+  construction, so it never crosses the wire.
+- **Adaptive flush** — buffers also flush on *simulated-time* dwell
+  (``max_dwell``): at low offered load a partial batch does not strand
+  in its buffer past the deadline.  ``poll()`` is the pacing hook apps
+  call from their request loop.
+- **Credit-based flow control** — with ``credits=k`` at most ``k``
+  batches per peer are in flight; the target acks each applied batch and
+  the ack returns the credit.  An exhausted peer stalls the sender in
+  simulated time (recorded as a ``credit_wait`` span — the report's
+  ``backpressure`` bucket — and charged to the conduit's endpoint
+  accounting), which is exactly the NIC-friendly backpressure the
+  "MPI Progress For All" line of work argues for.
+- **Counting quiescence** — :meth:`quiesce` replaces the repeated
+  all-reduce polling loop of the old ``AggregatingCounter.sync`` with
+  counting-based termination detection: one all-reduce of the per-
+  destination *sent* counts, then each rank waits locally until its
+  *applied* count reaches what the world owes it.  One collective per
+  round instead of an unbounded polling loop.
+- **Hot-key read cache** — with ``cache_capacity > 0``, :meth:`read`
+  serves repeated keys from a local LRU.  A read-through registers the
+  reader as a *watcher* at the owner; when a later batch updates a
+  watched key the owner queues an invalidation, piggybacked onto the
+  aggregated flush stream (data batches headed to the watcher carry it
+  for free; otherwise it flushes with the store's own batching rules).
+  Coherence rides the conduit's per-channel FIFO delivery: the fill
+  reply is injected before any subsequent invalidation for the same
+  key, so a stale value can never outlive the invalidation that
+  supersedes it.
+
+Everything is deterministic: buffers are plain per-destination lists
+filled in program order, flush order is ascending destination rank, and
+all pacing is simulated time — so results, traces, and span
+fingerprints stay bit-identical across the coroutine, thread, and
+sharded backends (pinned by ``tests/test_chaos_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.upcxx.collectives import barrier, reduce_all
+from repro.upcxx.dist_object import DistObject
+from repro.upcxx.future import Future, make_future
+from repro.upcxx.rpc import rpc, rpc_ff
+from repro.upcxx.runtime import current_runtime
+from repro.upcxx.view import make_view
+
+
+# ------------------------------------------------------------------ combines
+def combine_add(old, new):
+    """Accumulate (the HipMer k-mer counting combine)."""
+    return old + new
+
+
+def combine_replace(old, new):
+    """Last-writer-wins (KV put semantics)."""
+    return new
+
+
+def combine_min(old, new):
+    return new if new < old else old
+
+
+def combine_max(old, new):
+    return new if new > old else old
+
+
+#: named combines — resolved locally on every rank at construction, so a
+#: combine function never needs to be serialized
+COMBINES = {
+    "+": combine_add,
+    "replace": combine_replace,
+    "min": combine_min,
+    "max": combine_max,
+}
+
+_MISS = object()
+
+
+def default_route(key, n_ranks: int) -> int:
+    """Deterministic key -> owner mapping (splitmix64 finalizer).
+
+    Non-integer keys go through blake2b rather than ``hash()``: builtin
+    string hashing is salted per process, which would scatter a key's
+    owner across runs and break cross-backend bit-identity.
+    """
+    if not isinstance(key, int):
+        key = int.from_bytes(
+            hashlib.blake2b(repr(key).encode(), digest_size=8).digest(), "big"
+        )
+    z = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    z = z ^ (z >> 31)
+    return z % n_ranks
+
+
+# ------------------------------------------------------------- rpc bodies
+def _as_list(payload):
+    """Batch payload -> plain list (Views arrive as zero-copy arrays)."""
+    if hasattr(payload, "to_numpy"):
+        return payload.to_numpy().tolist()
+    return list(payload)
+
+
+def _apply_invals(rt, state, store: "AggStore", keys) -> None:
+    """Apply a list of cache-invalidation keys at a watcher rank."""
+    klist = _as_list(keys)
+    # one lookup-ish charge per eviction probe
+    rt.charge_sw(rt.cpu.map_lookup * len(klist))
+    state["applied_invals"] += len(klist)
+    cache = store._cache
+    if cache is not None:
+        for k in klist:
+            if cache.pop(k, _MISS) is not _MISS:
+                store.cache_invalidations += 1
+
+
+def _agg_apply(dobj: DistObject, src: int, seq: int, keys, vals, invals) -> None:
+    """RPC body: merge one aggregated batch into the local shard.
+
+    ``src`` is the sender's team rank when it wants an ack (credits or
+    latency tracking), else ``-1``.  ``invals`` piggybacks invalidation
+    keys the sender's shard owes *this* rank as a cache client.
+    """
+    rt = current_runtime()
+    state = dobj.value
+    store: AggStore = state["store"]
+    klist = _as_list(keys)
+    vlist = _as_list(vals)
+    rt.charge_sw(rt.cpu.map_insert * len(klist))
+    combine = state["combine"]
+    data = state["data"]
+    watchers = state["watchers"]
+    for k, v in zip(klist, vlist):
+        old = data.get(k, _MISS)
+        data[k] = v if old is _MISS else combine(old, v)
+        if watchers:
+            ws = watchers.get(k)
+            if ws:
+                for w in ws:
+                    if w != src:
+                        store._queue_inval(w, k)
+    state["applied_updates"] += len(klist)
+    state["applied_batches"] += 1
+    if invals:
+        _apply_invals(rt, state, store, invals)
+    if src >= 0:
+        rpc_ff(store.team[src], _agg_ack, dobj, store._my_trank, seq)
+
+
+def _agg_ack(dobj: DistObject, from_trank: int, seq: int) -> None:
+    """RPC body at the *origin*: one batch was applied; return its credit."""
+    dobj.value["store"]._on_ack(from_trank, seq)
+
+
+def _agg_invalidate(dobj: DistObject, keys) -> None:
+    """RPC body: standalone invalidation batch at a watcher rank."""
+    rt = current_runtime()
+    state = dobj.value
+    _apply_invals(rt, state, state["store"], keys)
+
+
+def _agg_read(dobj: DistObject, key, reader: int, default):
+    """RPC body at the owner: read-through; optionally register a watcher."""
+    rt = current_runtime()
+    rt.charge_sw(rt.cpu.map_lookup)
+    state = dobj.value
+    if reader >= 0:
+        ws = state["watchers"].setdefault(key, [])
+        if reader not in ws:
+            ws.append(reader)
+    return state["data"].get(key, default)
+
+
+# ---------------------------------------------------------------- the store
+class AggStore:
+    """A destination-batched distributed map (collective constructor).
+
+    Parameters
+    ----------
+    combine:
+        ``"+"``, ``"replace"``, ``"min"``, ``"max"`` or a callable
+        ``(old, new) -> merged`` applied at the owner.  Must be uniform
+        across ranks.
+    batch_size:
+        updates buffered per destination before a flush (>= 1).
+    team:
+        the participating team (default: world).
+    max_dwell:
+        optional simulated-seconds deadline: a partial batch older than
+        this flushes at the next :meth:`poll` / :meth:`update`.
+    credits:
+        optional per-peer bound on in-flight (unacked) batches; the
+        sender stalls in simulated time when a peer's credits run out.
+    cache_capacity:
+        >0 enables the hot-key read cache (LRU of that many keys) and
+        watcher-based invalidation.  Must be uniform across ranks (it
+        decides whether :meth:`quiesce` runs its invalidation round).
+    route:
+        key -> team-rank mapping (default :func:`default_route`).
+    on_batch_flushed / on_batch_acked:
+        measurement hooks: ``(dest_trank, seq, n_updates)`` at flush
+        time and ``(dest_trank, seq, t_now)`` when the ack returns
+        (acks are enabled by ``credits`` or by ``on_batch_acked``).
+    """
+
+    def __init__(
+        self,
+        combine: Union[str, Callable] = "+",
+        batch_size: int = 64,
+        *,
+        team=None,
+        max_dwell: Optional[float] = None,
+        credits: Optional[int] = None,
+        cache_capacity: int = 0,
+        route: Callable[[int, int], int] = default_route,
+        on_batch_flushed: Optional[Callable[[int, int, int], None]] = None,
+        on_batch_acked: Optional[Callable[[int, int, float], None]] = None,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if credits is not None and credits < 1:
+            raise ValueError(f"credits must be >= 1, got {credits}")
+        rt = current_runtime()
+        self._rt = rt
+        self.team = team if team is not None else rt.team_world()
+        self.batch_size = batch_size
+        self.max_dwell = max_dwell
+        self.cache_capacity = cache_capacity
+        self._route = route
+        self._on_batch_flushed = on_batch_flushed
+        self._on_batch_acked = on_batch_acked
+        combine_fn = COMBINES[combine] if isinstance(combine, str) else combine
+        n = self.team.rank_n()
+        self._n = n
+        self._my_trank = self.team.rank_me()
+        #: local shard + counters; the ``store`` back-pointer lets RPC
+        #: bodies reach the target rank's AggStore instance
+        self.state = {
+            "data": {},
+            "combine": combine_fn,
+            "watchers": {},
+            "applied_updates": 0,
+            "applied_batches": 0,
+            "applied_invals": 0,
+            "store": self,
+        }
+        self._dobj = DistObject(self.state, team=self.team)
+        # -- per-destination buffers (team-rank indexed) --------------------
+        self._buf_keys: List[list] = [[] for _ in range(n)]
+        self._buf_vals: List[list] = [[] for _ in range(n)]
+        self._t_first: List[Optional[float]] = [None] * n
+        self._inval_buf: List[list] = [[] for _ in range(n)]
+        self._t_first_inval: List[Optional[float]] = [None] * n
+        # -- quiescence accounting ------------------------------------------
+        self._sent_updates = np.zeros(n, dtype=np.int64)
+        self._sent_invals = np.zeros(n, dtype=np.int64)
+        self.batches_sent = 0
+        self.updates_sent = 0
+        self.acks_received = 0
+        self._batch_seq = 0
+        # -- flow control ---------------------------------------------------
+        self._credits: Optional[List[int]] = None if credits is None else [credits] * n
+        self._wants_ack = credits is not None or on_batch_acked is not None
+        self.credit_stalls = 0
+        self.credit_stall_s = 0.0
+        # -- hot-key cache --------------------------------------------------
+        self._cache: Optional[OrderedDict] = OrderedDict() if cache_capacity > 0 else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+
+    # ----------------------------------------------------------- update side
+    def dest_of(self, key) -> int:
+        """Team rank owning ``key``."""
+        return self._route(key, self._n)
+
+    def update(self, key, value) -> None:
+        """Buffer one update; flushes the destination's buffer when full."""
+        t = self.dest_of(key)
+        bk = self._buf_keys[t]
+        bk.append(key)
+        self._buf_vals[t].append(value)
+        self._sent_updates[t] += 1
+        if self._cache is not None:
+            # local write-invalidate: our own cached copy is stale now
+            self._cache.pop(key, None)
+        if len(bk) >= self.batch_size:
+            self._flush_dest(t)
+        elif self.max_dwell is not None and self._t_first[t] is None:
+            self._t_first[t] = self._rt.now()
+
+    def poll(self) -> None:
+        """Flush any buffer whose oldest entry exceeded ``max_dwell``.
+
+        The pacing hook: request loops call this between operations so a
+        partial batch cannot strand past its dwell deadline at low load.
+        """
+        if self.max_dwell is None:
+            return
+        deadline = self._rt.now() - self.max_dwell
+        for t in range(self._n):
+            tf = self._t_first[t]
+            if tf is not None and tf <= deadline:
+                self._flush_dest(t)
+            ti = self._t_first_inval[t]
+            if ti is not None and ti <= deadline and self._t_first[t] is None:
+                self._flush_invals_dest(t)
+
+    def flush(self) -> None:
+        """Push out every partially-filled data buffer (invals piggyback)."""
+        for t in range(self._n):
+            self._flush_dest(t)
+
+    def _flush_dest(self, t: int) -> None:
+        bk = self._buf_keys[t]
+        if not bk:
+            return
+        rt = self._rt
+        credits = self._credits
+        if credits is not None and credits[t] == 0:
+            # backpressure: stall in simulated time until the peer acks
+            self.credit_stalls += 1
+            t0 = rt.now()
+            rt.wait_quiet(lambda: credits[t] > 0, "agg::credit")
+            dt = rt.now() - t0
+            if dt > 0.0:
+                self.credit_stall_s += dt
+                rt.conduit.endpoints[rt.rank].agg_credit_stall_s += dt
+                sp = rt.spans
+                if sp is not None:
+                    sp.record(t0, rt.now(), rt.rank, rt.next_span_sid(),
+                              "credit_wait", "agg", len(bk))
+            bk = self._buf_keys[t]
+        # snapshot *after* any stall: updates buffered meanwhile ride along
+        bv = self._buf_vals[t]
+        self._buf_keys[t] = []
+        self._buf_vals[t] = []
+        self._t_first[t] = None
+        inv = self._inval_buf[t]
+        if inv:
+            self._inval_buf[t] = []
+            self._t_first_inval[t] = None
+        keys = self._pack(bk)
+        vals = self._pack(bv)
+        invals = self._pack(inv) if inv else ()
+        if credits is not None:
+            credits[t] -= 1
+        self._batch_seq += 1
+        seq = self._batch_seq
+        self.batches_sent += 1
+        self.updates_sent += len(bk)
+        ep = rt.conduit.endpoints[rt.rank]
+        ep.agg_batches += 1
+        ep.agg_updates += len(bk)
+        src = self._my_trank if self._wants_ack else -1
+        cb = self._on_batch_flushed
+        if cb is not None:
+            cb(t, seq, len(bk))
+        rpc_ff(self.team[t], _agg_apply, self._dobj, src, seq, keys, vals, invals)
+
+    @staticmethod
+    def _pack(items: list):
+        """int-only batches ship as zero-copy int64 views; else verbatim."""
+        if items and all(type(x) is int for x in items):
+            arr = np.asarray(items, dtype=np.int64)
+            return make_view(arr)
+        return tuple(items)
+
+    def _on_ack(self, dest_trank: int, seq: int) -> None:
+        self.acks_received += 1
+        if self._credits is not None:
+            self._credits[dest_trank] += 1
+        cb = self._on_batch_acked
+        if cb is not None:
+            cb(dest_trank, seq, self._rt.now())
+
+    # ------------------------------------------------------- invalidations
+    def _queue_inval(self, watcher_trank: int, key) -> None:
+        """Owner side: queue one invalidation for a watcher (piggybacked)."""
+        buf = self._inval_buf[watcher_trank]
+        buf.append(key)
+        self._sent_invals[watcher_trank] += 1
+        if len(buf) >= self.batch_size:
+            self._flush_invals_dest(watcher_trank)
+        elif self.max_dwell is not None and self._t_first_inval[watcher_trank] is None:
+            self._t_first_inval[watcher_trank] = self._rt.now()
+
+    def _flush_invals_dest(self, t: int) -> None:
+        buf = self._inval_buf[t]
+        if not buf:
+            return
+        self._inval_buf[t] = []
+        self._t_first_inval[t] = None
+        # no credit, no ack: invalidations are small control traffic and
+        # must be sendable from inside an RPC body without blocking
+        rpc_ff(self.team[t], _agg_invalidate, self._dobj, self._pack(buf))
+
+    def flush_invals(self) -> None:
+        for t in range(self._n):
+            self._flush_invals_dest(t)
+
+    # -------------------------------------------------------------- reads
+    def read(self, key, default=None) -> Future:
+        """Asynchronous read of ``key`` (cache, then owner read-through)."""
+        rt = self._rt
+        cache = self._cache
+        if cache is not None:
+            v = cache.get(key, _MISS)
+            if v is not _MISS:
+                self.cache_hits += 1
+                t0 = rt.now()
+                rt.charge_sw(rt.cpu.map_lookup)
+                sp = rt.spans
+                if sp is not None:
+                    sp.record(t0, rt.now(), rt.rank, rt.next_span_sid(),
+                              "cache_hit", "agg", 0)
+                cache.move_to_end(key)
+                return make_future(v)
+            self.cache_misses += 1
+        t = self.dest_of(key)
+        reader = self._my_trank if cache is not None else -1
+        fut = rpc(self.team[t], _agg_read, self._dobj, key, reader, default)
+        if cache is not None:
+            fut = fut.then(lambda v, k=key: self._fill_cache(k, v))
+        return fut
+
+    def _fill_cache(self, key, value):
+        cache = self._cache
+        cache[key] = value
+        cache.move_to_end(key)
+        if len(cache) > self.cache_capacity:
+            cache.popitem(last=False)
+        return value
+
+    # --------------------------------------------------------- quiescence
+    def quiesce(self) -> None:
+        """Global quiescence (collective): counting-based termination.
+
+        One all-reduce of per-destination *sent* counts; each rank then
+        waits locally until its *applied* count reaches the global
+        expectation, and a barrier seals the round.  With caching on, a
+        second round settles the invalidations those applies generated,
+        and a final local wait drains outstanding acks so credits and
+        latency callbacks are all home before returning.
+        """
+        rt = self._rt
+        me = self._my_trank
+        self.flush()
+        expected = reduce_all(
+            self._sent_updates.copy(), lambda a, b: a + b, team=self.team
+        ).wait()
+        owed = int(expected[me])
+        rt.wait_quiet(lambda: self.state["applied_updates"] >= owed, "agg::quiesce")
+        barrier(team=self.team)
+        if self.cache_capacity > 0:
+            # all data batches are applied everywhere, so every
+            # invalidation that will ever be generated is now queued
+            self.flush_invals()
+            expected_inv = reduce_all(
+                self._sent_invals.copy(), lambda a, b: a + b, team=self.team
+            ).wait()
+            owed_inv = int(expected_inv[me])
+            rt.wait_quiet(
+                lambda: self.state["applied_invals"] >= owed_inv, "agg::quiesce-inv"
+            )
+            barrier(team=self.team)
+        if self._wants_ack:
+            rt.wait_quiet(
+                lambda: self.acks_received >= self.batches_sent, "agg::quiesce-ack"
+            )
+            barrier(team=self.team)
+
+    # ------------------------------------------------------------- queries
+    def local_items(self) -> dict:
+        return dict(self.state["data"])
+
+    def local_size(self) -> int:
+        return len(self.state["data"])
+
+    def stats(self) -> dict:
+        """Deterministic per-rank counters (JSON-ready)."""
+        return {
+            "batches_sent": self.batches_sent,
+            "updates_sent": self.updates_sent,
+            "invals_sent": int(self._sent_invals.sum()),
+            "acks_received": self.acks_received,
+            "applied_updates": self.state["applied_updates"],
+            "applied_batches": self.state["applied_batches"],
+            "applied_invals": self.state["applied_invals"],
+            "credit_stalls": self.credit_stalls,
+            "credit_stall_s": self.credit_stall_s,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_invalidations": self.cache_invalidations,
+        }

@@ -97,6 +97,39 @@ class DwellHistogram:
             seen += count
         return min(max(value, self.minimum), self.maximum)
 
+    def merge(self, other: "DwellHistogram") -> "DwellHistogram":
+        """Fold ``other`` into this histogram in place (cross-rank SLOs).
+
+        Exact n/total/min/max merge exactly; the log2 buckets add
+        count-wise, so merged percentiles carry the same per-bucket
+        interpolation error as single-rank ones.  Returns ``self``.
+        """
+        if other.n == 0:
+            return self
+        self.n += other.n
+        self.total += other.total
+        if self.minimum is None or other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if self.maximum is None or other.maximum > self.maximum:
+            self.maximum = other.maximum
+        for i, c in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + c
+        return self
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DwellHistogram":
+        """Rebuild a histogram from :meth:`as_dict` output (the sharded
+        backend returns per-rank results as plain dicts)."""
+        h = cls()
+        h.n = d["n"]
+        h.total = d["total_s"]
+        if h.n:
+            h.minimum = d["min_s"]
+            h.maximum = d["max_s"]
+        for lo_ns, count in d["buckets"]:
+            h.buckets[0 if lo_ns == 0 else int(lo_ns).bit_length()] = count
+        return h
+
     def as_dict(self) -> dict:
         return {
             "n": self.n,
@@ -107,6 +140,7 @@ class DwellHistogram:
             "p50_s": self.percentile(50),
             "p95_s": self.percentile(95),
             "p99_s": self.percentile(99),
+            "p999_s": self.percentile(99.9),
             # [lower bound of bucket in ns, count], ascending
             "buckets": [
                 [0 if i == 0 else 1 << (i - 1), self.buckets[i]] for i in sorted(self.buckets)

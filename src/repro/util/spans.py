@@ -73,6 +73,11 @@ PHASES = {
     # reliability layer: retransmission attempts (fault injection);
     # one span per re-sent frame, [backoff fire, re-injection done]
     "retry": "retry",
+    # aggregation layer (repro.upcxx.aggregator): sender stalled on
+    # per-peer flow-control credits [stall begin, credit returned]
+    "credit_wait": "backpressure",
+    # hot-key read served from the local cache (the map_lookup charge)
+    "cache_hit": "cache",
 }
 
 SpanRecord = Tuple[float, float, int, tuple, str, str, int, Optional[tuple]]

@@ -27,6 +27,7 @@ class Summary:
     p50: float = 0.0
     p95: float = 0.0
     p99: float = 0.0
+    p999: float = 0.0
 
     @property
     def best(self) -> float:
@@ -87,6 +88,7 @@ def summarize(samples: Sequence[float]) -> Summary:
         p50=_percentile_sorted(xs, 50),
         p95=_percentile_sorted(xs, 95),
         p99=_percentile_sorted(xs, 99),
+        p999=_percentile_sorted(xs, 99.9),
     )
 
 

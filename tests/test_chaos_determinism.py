@@ -239,6 +239,94 @@ def test_crash_before_any_communication():
     assert ei.value.rank == 3
 
 
+# ----------------------------------------------------- aggregation layer
+def _agg_body():
+    """Aggregated updates + cached reads: batching, dwell flushes, credit
+    acks, and invalidations all under fire."""
+    from repro.upcxx.aggregator import AggStore
+
+    me = upcxx.rank_me()
+    store = AggStore("+", batch_size=4, credits=2, max_dwell=5e-6,
+                     cache_capacity=8)
+    upcxx.barrier()
+    rng = upcxx.runtime_here().rng.spawn("chaos-agg")
+    for i in range(24):
+        store.update(rng.key64() % 32, (me + 1) * (i + 1) % 7 + 1)
+        if i % 5 == 0:
+            store.poll()
+    store.quiesce()
+    vals = tuple(store.read(k, default=0).wait() for k in range(0, 32, 3))
+    store.quiesce()
+    upcxx.barrier()
+    s = store.stats()
+    return (vals, s["batches_sent"], s["applied_updates"], s["cache_hits"],
+            s["cache_invalidations"], upcxx.sim_now())
+
+
+def _run_agg(backend, faults, seed=5):
+    tr = TraceBuffer()
+    sp = SpanBuffer()
+    res = upcxx.run_spmd(
+        _agg_body, 4, seed=seed, trace=tr, spans=sp, backend=backend, faults=faults
+    )
+    return res, tr.canonical_fingerprint(), sp.fingerprint()
+
+
+@pytest.mark.parametrize("plan", PLANS)
+def test_aggregated_chaos_bit_identical_across_backends(plan):
+    """The aggregation subsystem (batched frames, acks, invalidations)
+    joins the chaos surface: same seed + same fault plan => identical
+    results, trace, and span fingerprints on all three backends."""
+    spec = "seed=17," + plan
+    got = _all_backends(lambda b: _run_agg(b, spec, seed=17))
+    ref = got["coroutines"]
+    assert got["threads"] == ref
+    assert got["sharded"] == ref
+    # and the store's contents survive the chaos: identical to fault-free
+    clean = _run_agg("coroutines", None, seed=17)
+    assert ref[0][0][0] == clean[0][0][0]  # rank 0's read-back values
+
+
+def test_aggregated_crash_typed_verdict_across_backends():
+    """A rank crash mid-aggregation (updates buffered, credits out,
+    watchers registered) must end in RankDeadError with identical rank
+    attribution on every backend — never a hang in quiesce."""
+    spec = "seed=2,crash=2@1e-4"
+
+    def run(backend):
+        with pytest.raises(RankDeadError) as ei:
+            upcxx.run_spmd(_agg_body, 4, seed=5, backend=backend, faults=spec)
+        return (ei.value.rank, str(ei.value))
+
+    got = _all_backends(run)
+    assert got["threads"] == got["coroutines"]
+    assert got["sharded"] == got["coroutines"]
+
+
+def test_kvservice_chaos_bit_identical_across_backends():
+    """The full served-KV workload (open-loop pacing + aggregation +
+    cache) stays three-way bit-identical under an armed fault plan."""
+    from repro.apps.kvservice import default_config, kv_rank_body
+
+    cfg = default_config("tiny")
+    cfg.update({"ranks": 4, "ppn": 2, "n_requests": 48, "n_keys": 64})
+    spec = "seed=19,drop=0.15,dup=0.1,jitter=1e-6"
+
+    def run(backend):
+        sp = SpanBuffer()
+        res = upcxx.run_spmd(
+            lambda: kv_rank_body(cfg), cfg["ranks"], ppn=cfg["ppn"],
+            seed=9, backend=backend, faults=spec, spans=sp,
+        )
+        return list(res), sp.fingerprint()
+
+    got = _all_backends(run)
+    assert got["threads"] == got["coroutines"]
+    assert got["sharded"] == got["coroutines"]
+    total = sum(r["reads"] + r["writes"] for r in got["coroutines"][0])
+    assert total == cfg["ranks"] * cfg["n_requests"]  # chaos lost nothing
+
+
 def test_fault_env_var_spec(monkeypatch):
     """REPRO_FAULTS configures run_spmd without code changes."""
     from repro.sim.faults import FAULTS_ENV

@@ -149,3 +149,88 @@ def test_oracle_helper_sanity():
     assert mem[1, _slot_owner_key(0, 0, 0)] == 5  # the put
     assert mem[1, _slot_owner_key(0, 0, 1)] == 2  # the atomic
     assert mem[1, _slot_owner_key(2, 0, 0)] == 3  # the rpc add
+
+
+# ======================================================================
+# Aggregator dimension: random AggStore op sequences vs a sum oracle
+# ======================================================================
+N_AGG_KEYS = 32
+
+# one aggregated op: (src_rank, key, delta)
+_agg_op = st.tuples(
+    st.integers(0, N_RANKS - 1),
+    st.integers(0, N_AGG_KEYS - 1),
+    st.integers(1, 50),
+)
+
+
+def _agg_oracle(ops) -> dict:
+    """Sequential model: '+'-combine is order-independent, so the final
+    store is exactly the per-key sum of every rank's deltas."""
+    out: dict = {}
+    for _src, key, delta in ops:
+        out[key] = out.get(key, 0) + delta
+    return out
+
+
+def _run_agg_simulated(ops, batch_size, faults=None):
+    """Push the op sequence through AggStore; read back the full keyspace.
+
+    Interleaves poll() (the dwell pacing hook) and mid-stream flushes so
+    random programs exercise partial-batch, full-batch, and quiesce-swept
+    paths; reads go through a hot-key cache on every rank.
+    """
+    from repro.upcxx.aggregator import AggStore
+
+    def body():
+        me = upcxx.rank_me()
+        store = AggStore("+", batch_size=batch_size, credits=2,
+                         max_dwell=5e-6, cache_capacity=8)
+        upcxx.barrier()
+        for i, (src, key, delta) in enumerate(ops):
+            if src != me:
+                continue
+            store.update(key, delta)
+            if i % 7 == 3:
+                store.poll()
+            if i % 11 == 5:
+                store.flush()
+        store.quiesce()
+        vals = tuple(store.read(k, default=0).wait() for k in range(N_AGG_KEYS))
+        store.quiesce()  # settle read-triggered invalidation watchers
+        upcxx.barrier()
+        return vals
+
+    return upcxx.run_spmd(body, N_RANKS, faults=faults)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(_agg_op, min_size=1, max_size=40),
+       st.sampled_from([1, 3, 8, 64]))
+def test_random_agg_programs_match_oracle(ops, batch_size):
+    expected = _agg_oracle(ops)
+    want = tuple(expected.get(k, 0) for k in range(N_AGG_KEYS))
+    for got in _run_agg_simulated(ops, batch_size):
+        assert got == want
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(_agg_op, min_size=1, max_size=40),
+       st.sampled_from([1, 8]),
+       st.sampled_from(_FAULT_SPECS))
+def test_random_agg_programs_under_faults(ops, batch_size, spec):
+    """Chaos dimension for the aggregation layer: under lossy/jittery
+    links the batched updates, acks, and invalidations must still settle
+    to the exact oracle sums; a rank crash may only surface as a typed
+    error — never a hang, never silent corruption."""
+    from repro.sim.errors import DeadlockError, RankDeadError, RankFailure
+
+    expected = _agg_oracle(ops)
+    want = tuple(expected.get(k, 0) for k in range(N_AGG_KEYS))
+    try:
+        results = _run_agg_simulated(ops, batch_size, faults=spec)
+    except (RankFailure, RankDeadError, DeadlockError):
+        assert "crash" in spec  # only rank death may abort the run
+        return
+    for got in results:
+        assert got == want

@@ -62,6 +62,7 @@ class TestDwellHistogram:
             "p50_s": 0.0,
             "p95_s": 0.0,
             "p99_s": 0.0,
+            "p999_s": 0.0,
             "buckets": [],
         }
         # empty-histogram aggregates are defined (0.0), never a raise
@@ -89,6 +90,71 @@ class TestDwellHistogram:
         assert 256e-9 < p50 < 512e-9
         assert h2.percentile(0) == pytest.approx(300e-9)   # clamped to min
         assert h2.percentile(100) == pytest.approx(900e-9)  # clamped to max
+
+
+class TestDwellHistogramTail:
+    """p999 (SLO tail) and cross-rank merge/rebuild semantics."""
+
+    def test_p999_single_sample(self):
+        h = DwellHistogram()
+        h.add(3e-6)
+        d = h.as_dict()
+        # one sample: every percentile clamps to the exact observation
+        assert d["p50_s"] == d["p99_s"] == d["p999_s"] == 3e-6
+
+    def test_p999_between_p99_and_max(self):
+        h = DwellHistogram()
+        for _ in range(999):
+            h.add(1e-6)
+        h.add(1e-3)  # one outlier in the top 0.1%
+        d = h.as_dict()
+        assert d["p99_s"] <= d["p999_s"] <= d["max_s"]
+        assert d["p999_s"] > d["p50_s"]
+
+    def test_percentile_range_check(self):
+        h = DwellHistogram()
+        h.add(1e-6)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_merge_matches_combined_stream(self):
+        a, b, both = DwellHistogram(), DwellHistogram(), DwellHistogram()
+        xs = [1e-9, 5e-9, 2e-6, 7e-4]
+        ys = [3e-9, 9e-6, 1e-3]
+        for x in xs:
+            a.add(x)
+            both.add(x)
+        for y in ys:
+            b.add(y)
+            both.add(y)
+        a.merge(b)
+        assert a.as_dict() == both.as_dict()
+
+    def test_merge_empty_is_identity(self):
+        a = DwellHistogram()
+        a.add(2e-6)
+        before = a.as_dict()
+        a.merge(DwellHistogram())
+        assert a.as_dict() == before
+        empty = DwellHistogram()
+        empty.merge(a)
+        assert empty.as_dict() == a.as_dict()
+
+    def test_from_dict_round_trip(self):
+        h = DwellHistogram()
+        for x in (0.0, 1e-9, 4e-6, 2.5e-3):
+            h.add(x)
+        d = h.as_dict()
+        rebuilt = DwellHistogram.from_dict(d)
+        out = rebuilt.as_dict()
+        # total_s survives exactly; mean is derived from it
+        assert out["n"] == d["n"] and out["buckets"] == d["buckets"]
+        assert out["min_s"] == d["min_s"] and out["max_s"] == d["max_s"]
+        assert out["p999_s"] == d["p999_s"]
+
+    def test_from_dict_empty(self):
+        d = DwellHistogram().as_dict()
+        assert DwellHistogram.from_dict(d).as_dict() == d
 
 
 class TestQueueSampling:

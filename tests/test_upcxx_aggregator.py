@@ -1,0 +1,300 @@
+"""Tests for repro.upcxx.aggregator — the runtime aggregation subsystem.
+
+Covers the AggStore surface the apps build on: pluggable combines,
+counting quiescence, dwell-deadline flushing, credit flow control (and
+its backpressure accounting), the hot-key read cache with watcher-based
+invalidation, and the stats/conduit counter plumbing.
+"""
+
+import pytest
+
+import repro.upcxx as upcxx
+from repro.upcxx.aggregator import (
+    COMBINES,
+    AggStore,
+    combine_add,
+    combine_max,
+    combine_min,
+    combine_replace,
+    default_route,
+)
+
+
+class TestCombines:
+    def test_builtins(self):
+        assert combine_add(2, 3) == 5
+        assert combine_replace(2, 3) == 3
+        assert combine_min(2, 3) == 2
+        assert combine_max(2, 3) == 3
+        assert set(COMBINES) == {"+", "replace", "min", "max"}
+
+    def test_route_is_deterministic_and_in_range(self):
+        for k in (0, 1, 7, 123456789, "alpha", (3, 4)):
+            t = default_route(k, 8)
+            assert 0 <= t < 8
+            assert default_route(k, 8) == t
+
+
+class TestAggStoreCore:
+    def test_invalid_parameters(self):
+        def body():
+            with pytest.raises(ValueError):
+                AggStore("+", batch_size=0)
+            with pytest.raises(ValueError):
+                AggStore("+", batch_size=4, credits=0)
+            with pytest.raises(KeyError):
+                AggStore("no-such-combine")
+
+        upcxx.run_spmd(body, 1)
+
+    def test_add_combine_mass_conserved(self):
+        def body():
+            store = AggStore("+", batch_size=16)
+            upcxx.barrier()
+            rng = upcxx.runtime_here().rng.spawn("agg-mass")
+            for _ in range(100):
+                store.update(rng.key64() % 64, 1)
+            store.quiesce()
+            local = sum(store.local_items().values())
+            total = upcxx.reduce_all(local, "+").wait()
+            upcxx.barrier()
+            return total
+
+        res = upcxx.run_spmd(body, 4)
+        assert all(t == 400 for t in res)
+
+    def test_replace_min_max_combines(self):
+        def body():
+            me = upcxx.rank_me()
+            lo = AggStore("min", batch_size=4)
+            hi = AggStore("max", batch_size=4)
+            last = AggStore("replace", batch_size=4)
+            upcxx.barrier()
+            lo.update(9, me + 1)
+            hi.update(9, me + 1)
+            # deterministic final writer: ranks write distinct keys
+            last.update(me, me * 10)
+            for s in (lo, hi, last):
+                s.quiesce()
+            out = (
+                lo.read(9, default=None).wait(),
+                hi.read(9, default=None).wait(),
+                last.read(me, default=None).wait(),
+            )
+            upcxx.barrier()
+            return out
+
+        res = upcxx.run_spmd(body, 3)
+        for r, (mn, mx, own) in enumerate(res):
+            assert mn == 1
+            assert mx == 3
+            assert own == r * 10
+
+    def test_callable_combine(self):
+        def body():
+            store = AggStore(lambda old, new: old * new, batch_size=2)
+            upcxx.barrier()
+            for v in (2, 3, 4):
+                store.update(5, v)
+            store.quiesce()
+            v = store.read(5, default=None).wait()
+            upcxx.barrier()
+            return v
+
+        res = upcxx.run_spmd(body, 2)
+        assert res[0] == (2 * 3 * 4) ** 2  # both ranks multiply in
+
+    def test_quiesce_flushes_partial_buffers(self):
+        def body():
+            store = AggStore("+", batch_size=10_000)  # never auto-flushes
+            upcxx.barrier()
+            store.update(1, 7)
+            store.quiesce()
+            v = store.read(1, default=0).wait()
+            upcxx.barrier()
+            return v
+
+        res = upcxx.run_spmd(body, 2)
+        assert res[0] == 14
+
+    def test_stats_shape(self):
+        def body():
+            store = AggStore("+", batch_size=4, credits=4, cache_capacity=8)
+            upcxx.barrier()
+            store.update(3, 1)
+            store.quiesce()
+            store.read(3, default=0).wait()
+            upcxx.barrier()
+            return store.stats()
+
+        res = upcxx.run_spmd(body, 2)
+        expected_keys = {
+            "batches_sent", "updates_sent", "invals_sent", "acks_received",
+            "applied_updates", "applied_batches", "applied_invals",
+            "credit_stalls", "credit_stall_s",
+            "cache_hits", "cache_misses", "cache_invalidations",
+        }
+        for s in res:
+            assert set(s) == expected_keys
+        assert sum(s["applied_updates"] for s in res) == 2
+
+
+def _sim_sleep(dt):
+    """Park the calling rank for ``dt`` simulated seconds."""
+    rt = upcxx.runtime_here()
+    t_dead = rt.now() + dt
+    rt.sched.post_at(t_dead, lambda: rt.sched.wake(rt.rank, t_dead))
+    rt.wait_quiet(lambda: rt.now() >= t_dead, "test::sleep")
+
+
+class TestDwellAndCredits:
+    def test_max_dwell_flushes_via_poll(self):
+        def body():
+            store = AggStore("+", batch_size=10_000, max_dwell=2e-6)
+            upcxx.barrier()
+            me = upcxx.rank_me()
+            if me == 0:
+                store.update(11, 1)
+                assert store.batches_sent == 0  # buffered, under batch size
+                _sim_sleep(10e-6)
+                store.poll()  # past the dwell deadline: must flush now
+                assert store.batches_sent == 1
+            store.quiesce()
+            v = store.read(11, default=0).wait()
+            upcxx.barrier()
+            return v
+
+        res = upcxx.run_spmd(body, 2)
+        assert res[0] == 1
+
+    def test_poll_respects_unexpired_dwell(self):
+        def body():
+            store = AggStore("+", batch_size=10_000, max_dwell=1.0)
+            upcxx.barrier()
+            store.update(11, 1)
+            store.poll()  # deadline 1 simulated second away: no flush
+            sent_before_quiesce = store.batches_sent
+            store.quiesce()
+            upcxx.barrier()
+            return sent_before_quiesce
+
+        res = upcxx.run_spmd(body, 2)
+        assert all(s == 0 for s in res)
+
+    def test_credit_exhaustion_stalls_and_recovers(self):
+        stats = {}
+
+        def body():
+            store = AggStore("+", batch_size=1, credits=1)
+            upcxx.barrier()
+            # batch_size=1 + credits=1: every second consecutive update to
+            # the same destination must wait for the previous batch's ack
+            dest_key = 0 if store.dest_of(0) != upcxx.rank_me() else 1
+            for _ in range(16):
+                store.update(dest_key, 1)
+            store.quiesce()
+            upcxx.barrier()
+            if upcxx.rank_me() == 0:
+                stats.update(store.stats())
+                stats["conduit"] = upcxx.runtime_here().conduit.stats()
+
+        upcxx.run_spmd(body, 2, ppn=1)
+        assert stats["credit_stalls"] > 0
+        assert stats["credit_stall_s"] > 0.0
+        assert stats["acks_received"] == stats["batches_sent"]
+        # backpressure reaches the conduit's endpoint accounting too
+        assert stats["conduit"]["agg_credit_stall_s"] > 0.0
+        assert stats["conduit"]["agg_batches"] >= stats["batches_sent"]
+
+    def test_no_credits_means_no_stalls(self):
+        stats = {}
+
+        def body():
+            store = AggStore("+", batch_size=1)
+            upcxx.barrier()
+            for _ in range(16):
+                store.update(upcxx.rank_me(), 1)
+            store.quiesce()
+            upcxx.barrier()
+            if upcxx.rank_me() == 0:
+                stats.update(store.stats())
+
+        upcxx.run_spmd(body, 2, ppn=1)
+        assert stats["credit_stalls"] == 0
+        assert stats["acks_received"] == 0  # unacked fire-and-forget mode
+
+
+class TestHotKeyCache:
+    def test_hit_after_fill_and_invalidation_on_update(self):
+        out = {}
+
+        def body():
+            me = upcxx.rank_me()
+            store = AggStore("replace", batch_size=4, cache_capacity=8)
+            # pick a key owned by rank 1 so rank 0's reads go remote
+            key = next(k for k in range(64) if store.dest_of(k) == 1)
+            upcxx.barrier()
+            if me == 1:
+                store.update(key, 111)
+            store.quiesce()
+            seq = []
+            if me == 0:
+                seq.append(store.read(key).wait())  # miss -> fill
+                seq.append(store.read(key).wait())  # hit
+            store.quiesce()
+            upcxx.barrier()
+            if me == 1:
+                store.update(key, 222)  # owner update -> invalidate watchers
+            store.quiesce()
+            if me == 0:
+                seq.append(store.read(key).wait())  # must re-fetch: 222
+                out["seq"] = seq
+                out.update(store.stats())
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+        assert out["seq"] == [111, 111, 222]
+        assert out["cache_hits"] == 1
+        assert out["cache_misses"] == 2
+        assert out["cache_invalidations"] >= 1
+
+    def test_lru_eviction_bounds_cache(self):
+        out = {}
+
+        def body():
+            me = upcxx.rank_me()
+            store = AggStore("replace", batch_size=4, cache_capacity=2)
+            upcxx.barrier()
+            if me == 1:
+                for k in range(8):
+                    store.update(k, k)
+            store.quiesce()
+            if me == 0:
+                for k in range(8):
+                    store.read(k, default=-1).wait()
+                # only 2 entries may survive; re-reading an evicted key misses
+                store.read(0, default=-1).wait()
+                out.update(store.stats())
+            store.quiesce()
+            upcxx.barrier()
+
+        upcxx.run_spmd(body, 2)
+        assert out["cache_hits"] == 0
+        assert out["cache_misses"] == 9
+
+    def test_uncached_store_has_zero_cache_traffic(self):
+        out = {}
+
+        def body():
+            store = AggStore("replace", batch_size=4)
+            upcxx.barrier()
+            store.update(upcxx.rank_me(), 1)
+            store.quiesce()
+            store.read(0, default=0).wait()
+            upcxx.barrier()
+            if upcxx.rank_me() == 0:
+                out.update(store.stats())
+
+        upcxx.run_spmd(body, 2)
+        assert out["cache_hits"] == out["cache_misses"] == 0
+        assert out["cache_invalidations"] == 0

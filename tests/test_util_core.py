@@ -69,7 +69,7 @@ class TestStats:
         s = summarize([3.0, 1.0, 2.0])
         assert s == Summary(
             n=3, mean=2.0, minimum=1.0, maximum=3.0, median=2.0, stdev=1.0,
-            p50=2.0, p95=2.9, p99=2.98,
+            p50=2.0, p95=2.9, p99=2.98, p999=2.998,
         )
         assert s.best == 1.0
 
@@ -80,8 +80,9 @@ class TestStats:
         assert s.p50 == 3.0
         assert s.p95 == pytest.approx(4.8)
         assert s.p99 == pytest.approx(4.96)
+        assert s.p999 == pytest.approx(4.996)
         one = summarize([7.0])
-        assert one.p50 == one.p95 == one.p99 == 7.0
+        assert one.p50 == one.p95 == one.p99 == one.p999 == 7.0
 
     def test_summarize_even_median(self):
         assert summarize([1, 2, 3, 4]).median == 2.5
