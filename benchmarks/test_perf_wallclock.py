@@ -324,3 +324,73 @@ def test_reliable_delivery_bookkeeping_under_2pct(report):
     }
     with open(OUT_PATH, "w") as f:
         json.dump(doc, f, sort_keys=True, indent=2)
+
+
+def test_telemetry_overhead_under_2pct(report):
+    """Acceptance gate: telemetry enabled (windowed rollups + flight
+    recorder) costs <2% wall clock vs disabled on the same mixed
+    rput/RPC workload the reliability gate uses.
+
+    Telemetry is passive — results must be bit-identical with it on —
+    and the measured ratio lands in ``BENCH_perf.json`` under
+    ``telemetry_overhead`` for ``repro.tools.health`` to gate on.
+    """
+    import time
+
+    import numpy as np
+
+    import repro.upcxx as upcxx
+    from repro.util import Telemetry
+
+    def body():
+        me = upcxx.rank_me()
+        n = upcxx.rank_n()
+        landing = upcxx.new_array(np.uint8, 512)
+        dest = upcxx.broadcast(landing, root=1).wait()
+        upcxx.barrier()
+        if me == 0:
+            payload = bytes(512)
+            for _ in range(60):
+                upcxx.rput(payload, dest).wait()
+        acc = 0
+        for i in range(24):
+            acc += upcxx.rpc((me + i + 1) % n, lambda a, b: a + b, me, i).wait()
+        upcxx.barrier()
+        return (acc, upcxx.sim_now())
+
+    last = {}
+
+    def once(on):
+        # fresh sink per run: rollup state must not accumulate across pairs
+        tel = Telemetry() if on else None
+        if on:
+            last["tel"] = tel
+        t0 = time.perf_counter()
+        res = upcxx.run_spmd(body, 16, ppn=8, seed=3, telemetry=tel)
+        return time.perf_counter() - t0, res
+
+    base_s, with_s, base_res, with_res = _calmest_pair(once, True)
+    # telemetry is passive: simulated results are untouched
+    assert with_res == base_res
+    # rollups actually filled (the run is several windows long)
+    tel = last["tel"]
+    assert all(len(rt.windows) > 0 for rt in tel.ranks.values())
+    ratio = with_s / base_s if base_s > 0 else 1.0
+    assert with_s <= max(base_s * 1.02, base_s + 0.05), (
+        f"telemetry overhead too high: {base_s:.3f}s -> {with_s:.3f}s"
+    )
+
+    try:
+        with open(OUT_PATH) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        doc = {}
+    doc["telemetry_overhead"] = {
+        "gate": "telemetry_on_overhead_under_2pct",
+        "base_s": base_s,
+        "with_s": with_s,
+        "ratio": ratio,
+        "passed": True,
+    }
+    with open(OUT_PATH, "w") as f:
+        json.dump(doc, f, sort_keys=True, indent=2)

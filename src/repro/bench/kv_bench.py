@@ -47,7 +47,7 @@ KV_SEED = 7
 
 
 def run_kv(cfg: dict, backend: str = "coroutines", seed: int = KV_SEED,
-           spans=None, faults=None) -> Tuple[list, dict]:
+           spans=None, faults=None, telemetry=None) -> Tuple[list, dict]:
     """One kvservice run; returns (per-rank records, sched stats)."""
     stats: dict = {}
     results = upcxx.run_spmd(
@@ -58,6 +58,7 @@ def run_kv(cfg: dict, backend: str = "coroutines", seed: int = KV_SEED,
         seed=seed,
         backend=backend,
         sched_stats=stats,
+        telemetry=telemetry,
         spans=spans,
         faults=faults,
     )
@@ -173,6 +174,17 @@ def offered_load_sweep(
     }
 
 
+def measure_point(scale: str, multiplier: float,
+                  backend: str = "coroutines") -> dict:
+    """One offered-load point (JSON-ready), for ``repro.tools.health --kv``."""
+    base = default_config(scale)
+    cfg = dict(base, rate=base["rate"] * multiplier)
+    results, _ = run_kv(cfg, backend)
+    point = summarize_point(cfg, results)
+    point["multiplier"] = multiplier
+    return point
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--scale", choices=("tiny", "full", "xl"), default="tiny")
@@ -180,9 +192,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     choices=("coroutines", "threads", "sharded"))
     ap.add_argument("--sweep", action="store_true",
                     help="run the offered-load sweep instead of the ablation")
+    ap.add_argument("--point", type=float, default=None, metavar="MULT",
+                    help="measure one offered-load point at MULT x the base "
+                    "rate (feeds repro.tools.health --kv)")
     ap.add_argument("--out", default=None, help="write JSON here")
     args = ap.parse_args(argv)
-    if args.sweep:
+    if args.point is not None:
+        doc = measure_point(args.scale, args.point, args.backend)
+        print(
+            f"[kv] x{args.point:g}: utilization {doc['utilization']:.3f}, "
+            f"p99 {doc['p99_s'] * 1e6:.1f}us p999 {doc['p999_s'] * 1e6:.1f}us",
+            flush=True,
+        )
+    elif args.sweep:
         doc = offered_load_sweep(args.scale, args.backend)
     else:
         doc = aggregation_ablation(args.scale, args.backend)

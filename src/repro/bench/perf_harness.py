@@ -411,6 +411,86 @@ def shard_sweep(
     }
 
 
+def telemetry_digest(matrix: Sequence[str] = BACKENDS) -> dict:
+    """Cross-backend telemetry rollup digest for ``BENCH_perf.json``.
+
+    Runs a small fixed mixed rput/RPC workload once per backend with the
+    flight recorder + windowed rollups enabled, asserts the exported
+    telemetry is *byte-identical* everywhere (the same bar the simulated
+    results are held to), and folds the final cumulative window into a
+    compact totals record so the CI artifact carries a telemetry
+    provenance line next to the perf numbers.
+    """
+    import hashlib
+
+    import repro.upcxx as upcxx
+    from repro.util.telemetry import Telemetry
+
+    n_ranks, n_puts, n_rpcs = 8, 24, 8
+
+    def body():
+        import numpy as np
+
+        me, n = upcxx.rank_me(), upcxx.rank_n()
+        landing = upcxx.new_array(np.uint8, 512)
+        dests = [upcxx.broadcast(landing, root=r).wait() for r in range(n)]
+        upcxx.barrier()
+        payload = bytes(512)
+        futs = [upcxx.rput(payload, dests[(me + 1 + i) % n])
+                for i in range(n_puts)]
+        acc = 0
+        for i in range(n_rpcs):
+            acc += upcxx.rpc((me + i) % n, lambda x: x + 1, i).wait()
+        for f in futs:
+            f.wait()
+        upcxx.barrier()
+        return acc
+
+    texts: Dict[str, str] = {}
+    tel_last = None
+    for backend in matrix:
+        tel = Telemetry()
+        res = upcxx.run_spmd(body, n_ranks, platform="haswell", ppn=4,
+                             seed=11, backend=backend, telemetry=tel)
+        assert len(res) == n_ranks
+        texts[backend] = tel.dumps()
+        if tel.ranks:  # sharded merges into the parent's sink too
+            tel_last = tel
+    if len(set(texts.values())) > 1:
+        raise AssertionError(
+            "telemetry rollups diverged across backends "
+            f"{sorted(texts)} — fix determinism first"
+        )
+    totals = {"ops": 0, "bytes": 0, "executed": 0, "am_polls": 0,
+              "retransmits": 0, "credit_stall_s": 0.0, "cache_hits": 0,
+              "max_gap_s": 0.0, "windows": 0}
+    for rt in tel_last.ranks.values():
+        if not rt.windows:
+            continue
+        last = rt.windows[-1]
+        totals["ops"] += sum(last["ops"].values())
+        totals["bytes"] += sum(last["bytes"].values())
+        totals["executed"] += last["executed"]
+        totals["am_polls"] += last["ams"]
+        totals["retransmits"] += last["rel"]["retx"]
+        totals["credit_stall_s"] += last["agg"]["credit_stall_s"]
+        totals["cache_hits"] += last["agg"]["cache_hits"]
+        totals["max_gap_s"] = max(totals["max_gap_s"],
+                                  max(w["max_gap_s"] for w in rt.windows))
+        totals["windows"] += len(rt.windows)
+    totals["credit_stall_s"] = round(totals["credit_stall_s"], 9)
+    totals["max_gap_s"] = round(totals["max_gap_s"], 9)
+    return {
+        "workload": f"mixed rput/rpc {n_ranks} ranks",
+        "backends": list(matrix),
+        "identical": True,
+        "fingerprint": hashlib.sha256(
+            texts[matrix[0]].encode()).hexdigest()[:16],
+        "n_ranks": len(tel_last.ranks),
+        "totals": totals,
+    }
+
+
 def _gate_entry(gate: dict, workloads: dict, cpus: int, shards: int) -> dict:
     """Fill one :data:`GATES` template with measured numbers and verdict."""
     entry = dict(gate)
@@ -589,6 +669,28 @@ def run_harness(
             "fix determinism first"
         )
     report["span_attribution"] = span_section
+
+    # telemetry rollup digest: same bit-identity bar as the results and
+    # span fingerprints, plus a compact totals record for the artifact
+    if "sharded" in matrix:
+        prev = os.environ.get(SHARDS_ENV)
+        os.environ[SHARDS_ENV] = str(shards)
+        try:
+            report["telemetry"] = telemetry_digest(matrix)
+        finally:
+            if prev is None:
+                os.environ.pop(SHARDS_ENV, None)
+            else:
+                os.environ[SHARDS_ENV] = prev
+    else:
+        report["telemetry"] = telemetry_digest(matrix)
+    tl = report["telemetry"]
+    print(
+        f"[perf] telemetry digest: {tl['n_ranks']} ranks, "
+        f"{tl['totals']['windows']} windows, fingerprint {tl['fingerprint']} "
+        f"(identical across {len(tl['backends'])} backends)",
+        flush=True,
+    )
 
     # per-phase hot-path breakdown (REPRO_PROFILE=1 or profile=True): an
     # extra *untimed* cProfile pass of the gate workload on the reference

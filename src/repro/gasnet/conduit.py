@@ -60,6 +60,7 @@ class _Endpoint:
         "agg_batches",
         "agg_updates",
         "agg_credit_stall_s",
+        "agg_cache_hits",
     )
 
     def __init__(self, rank: int, segment_size: int):
@@ -88,6 +89,7 @@ class _Endpoint:
         self.agg_batches = 0
         self.agg_updates = 0
         self.agg_credit_stall_s = 0.0
+        self.agg_cache_hits = 0
 
 
 #: atomic ops supported by the simulated NIC (name -> (applies, returns_old))
@@ -117,6 +119,7 @@ class Conduit:
         metrics=None,
         spans=None,
         faults=None,
+        telemetry=None,
     ):
         if machine.n_ranks < sched.n_ranks:
             raise ValueError(
@@ -131,6 +134,11 @@ class Conduit:
         #: ops that carry a ``span`` correlation id record their NIC and
         #: wire phases here (passive: no clock reads, no event posts)
         self.spans = spans if spans is not None and spans.enabled else None
+        #: optional repro.util.telemetry.Telemetry (windowed rollups +
+        #: flight recorder); the conduit records nothing itself — runtimes
+        #: read endpoint counters — but the reference is the cross-shard
+        #: anchor the sharded backend uses to collect/merge per-rank state
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
         #: optional repro.sim.faults.FaultPlan; when set, every op routes
         #: through the reliable-delivery layer (seq/ack/retransmit)
         self._faults = faults

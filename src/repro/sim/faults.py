@@ -184,6 +184,22 @@ class FaultPlan:
         delivered (``inf`` when the rank never crashes)."""
         return self.crash.get(rank, float("inf"))
 
+    def dead_error(self, rank: int):
+        """The :class:`RankDeadError` survivors raise for ``rank``'s death.
+
+        Single construction point so every backend — including shard
+        workers that don't host the dead rank — raises a byte-identical
+        verdict.
+        """
+        from repro.sim.errors import RankDeadError
+
+        t_die = self.crash[rank]
+        return RankDeadError(
+            rank,
+            f"rank {rank} died at t={t_die!r} "
+            f"(heartbeat timeout after {self.detect_timeout!r}s)",
+        )
+
     # ------------------------------------------------------------------
     # retransmission policy
     # ------------------------------------------------------------------

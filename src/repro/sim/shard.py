@@ -881,8 +881,25 @@ class ShardedScheduler(CoroutineScheduler):
         n_total = self.n_ranks
         adaptive = self._la_mode == "adaptive"
         mult = 2.0  # the v1-equivalent idle-provision multiplier
+        # Fault fences: with a crash plan armed, no window may span a
+        # scheduled crash time or its heartbeat-detection time.  Landing a
+        # window boundary exactly on each fence means every envelope
+        # stamped at-or-before it was shipped by a *completed* exchange —
+        # the detection-time failure only ever aborts a window that starts
+        # at the detect fence, so its dropped FAIL-frame outbox cannot
+        # contain pre-detect traffic.  Combined with the per-shard detect
+        # events below, every backend executes exactly the events that
+        # precede detection, which is what keeps crash-run flight-recorder
+        # rings bit-identical.  Bounds only affect window count, never
+        # execution order, so the clamp is otherwise invisible.
+        fences = self._fault_fences() if chan.peers else ()
+        self._arm_remote_crash_detection()
         # All peers start at horizon 0, so the first bound is the lookahead.
         self._wbound = lookahead if chan.peers else _INF
+        for f in fences:
+            if 0.0 < f < self._wbound:
+                self._wbound = f
+                break
         for rid in range(lo, hi):
             ctl = self._ranks[rid]
             ctl.state = _READY
@@ -970,7 +987,59 @@ class ShardedScheduler(CoroutineScheduler):
             # (>= floor, so its effect lands >= floor + one hop) or from
             # our own future sends (>= h_post + mult hops, kept sound for
             # any mult by the emission clamp in emit_envelope).
-            self._wbound = min(floor + lookahead, h_post + mult * lookahead)
+            wb = min(floor + lookahead, h_post + mult * lookahead)
+            for f in fences:
+                if closed_bound < f < wb:
+                    wb = f  # land one window boundary exactly on the fence
+                    break
+            self._wbound = wb
+
+    def _fault_plan(self):
+        """The active fault plan, if any conduit carries one."""
+        for c in self._conduits:
+            plan = getattr(c, "_faults", None)
+            if getattr(plan, "crashes", None):
+                return plan
+        return None
+
+    def _fault_fences(self) -> tuple:
+        """Sorted simulated times no CMB window may span: every scheduled
+        rank-crash time and its heartbeat-detection time."""
+        plan = self._fault_plan()
+        if plan is None:
+            return ()
+        ts = set()
+        for t in plan.crashes.values():
+            ts.add(t)
+            ts.add(t + plan.detect_timeout)
+        return tuple(sorted(ts))
+
+    def _arm_remote_crash_detection(self) -> None:
+        """Schedule heartbeat-detection failures for non-local crashes.
+
+        The dying rank posts its own die/detect events in rank context,
+        but those live in *its* shard's queue.  Every other shard arms the
+        same detection here so that all shards stop executing at exactly
+        the detect time — the single-process backends abort there, and the
+        sharded backend must not over-execute survivors past it (the
+        flight-recorder freeze relies on the execution sets matching).
+        The synthetic stamp (0.0, rank, 0) sorts with — and never collides
+        with — real rank-context stamps, whose per-rank seqs start at 1.
+        """
+        plan = self._fault_plan()
+        if plan is None:
+            return
+        lo, hi = self._local_lo, self._local_hi
+        for r, t_die in sorted(plan.crashes.items()):
+            if lo <= r < hi:
+                continue  # the owner shard already has the rank's events
+
+            def _detect(err=plan.dead_error(r)):
+                if self._failure is None:
+                    self._fail(err)
+
+            self._events.push_keyed(
+                t_die + plan.detect_timeout, (0.0, r, 0), _detect)
 
     def _worker_stats(self) -> dict:
         ev = self._events.stats
@@ -1038,6 +1107,28 @@ class ShardedScheduler(CoroutineScheduler):
                 return list(sp._records)
         return []
 
+    def _collect_telemetry(self) -> dict:
+        """This shard's per-rank telemetry (pickle-safe RankTelemetry).
+
+        Shipped on *every* payload arm — ok, deadlock, peer-abort and FAIL
+        frames alike — so the parent can assemble a blackbox bundle even
+        when a shard aborts.  Defensive: a shard failing before setup has
+        no conduits/rank range yet, which must not mask the real failure.
+        """
+        out: dict = {}
+        try:
+            for c in self._conduits:
+                tel = getattr(c, "telemetry", None)
+                if tel is not None:
+                    for r in range(self._local_lo, self._local_hi):
+                        rt = tel._ranks.get(r)
+                        if rt is not None:
+                            out[r] = rt
+                    break
+        except Exception:
+            return {}
+        return out
+
     def _worker_entry(self, shard_id: int, parent_conn, own_conns, all_conns) -> None:
         payload = None
         try:
@@ -1083,17 +1174,18 @@ class ShardedScheduler(CoroutineScheduler):
                     "stats": self._worker_stats(),
                     "metrics": self._collect_metrics(),
                     "spans": self._collect_spans(),
+                    "telemetry": self._collect_telemetry(),
                     # crashed local ranks whose heartbeat timeout never
                     # fired (everyone else finished first): rank -> message
                     "dead": {r: str(err) for r, err in self._dead_ranks.items()},
                 },
             )
         except _ShardDeadlock as exc:
-            payload = ("deadlock", exc.lines)
+            payload = ("deadlock", exc.lines, self._collect_telemetry())
         except _RemoteAbort:
-            payload = ("peer-abort", None)
+            payload = ("peer-abort", None, self._collect_telemetry())
         except BaseException as exc:  # noqa: BLE001 - ship any failure home
-            payload = ("fail", _describe_failure(exc))
+            payload = ("fail", _describe_failure(exc), self._collect_telemetry())
         try:
             try:
                 parent_conn.send_bytes(_dumps(payload))
@@ -1201,6 +1293,9 @@ class ShardedScheduler(CoroutineScheduler):
         return self._merge(payloads)
 
     def _merge(self, payloads: List[tuple]) -> List[object]:
+        # Flight-recorder state must survive *any* outcome, so it is
+        # harvested before the failure arms below get a chance to raise.
+        self._harvest_telemetry(payloads)
         failures = [
             (s, pl[1]) for s, pl in enumerate(payloads) if pl[0] == "fail"
         ]
@@ -1263,6 +1358,26 @@ class ShardedScheduler(CoroutineScheduler):
             self._failure = RankDeadError(rank, dead_merged[rank])
             raise self._failure
         return results
+
+    def _harvest_telemetry(self, payloads: List[tuple]) -> None:
+        """Merge shipped per-rank telemetry into the job-level sink.
+
+        Non-ok payloads carry telemetry as a trailing tuple element (the
+        synthetic "terminated without reporting" payload has none).
+        """
+        merged: dict = {}
+        for pl in payloads:
+            if pl[0] == "ok":
+                merged.update(pl[1].get("telemetry", {}))
+            elif len(pl) > 2 and pl[2]:
+                merged.update(pl[2])
+        if not merged:
+            return
+        for c in self._conduits:
+            tel = getattr(c, "telemetry", None)
+            if tel is not None:
+                tel.merge_ranks(merged)
+                break
 
     def stats(self) -> dict:
         d = Scheduler.stats(self)

@@ -1,0 +1,384 @@
+"""Health-gate CLI: declarative rules over perf reports / KV runs / rollups.
+
+``python -m repro.tools.health`` evaluates a rule set against any mix of:
+
+- ``--bench BENCH_perf.json``  — a ``repro.bench.perf_harness`` report
+  (gate entries, overhead sections, ``kv_capacity`` knee curve,
+  ``span_attribution``);
+- ``--kv POINT.json``          — one ``repro.bench.kv_bench``
+  ``summarize_point`` dict (utilization + p50..p999 sojourn latency);
+- ``--telemetry TEL.json``     — a ``repro.util.Telemetry.as_dict`` dump
+  (windowed rollups: attentiveness gap, retransmits, credit stalls);
+- ``--rules RULES.json``       — extra declarative rules (see below).
+
+Every rule prints one verdict line and the process exits non-zero when
+any FAIL-severity rule is violated (with ``--strict``, WARN-severity
+violations fail too) — which is how CI turns a green-looking perf run
+into a hard gate.
+
+Declarative rule format (``--rules``)::
+
+    [{"name": "kv-p99", "doc": "kv", "path": "p99_s",
+      "op": "<=", "value": 200e-6, "severity": "fail"}]
+
+``doc`` names the input the rule applies to (``bench`` / ``kv`` /
+``telemetry``); ``path`` is a dotted lookup into that JSON document; a
+missing document or path yields SKIP, never a crash — health checks must
+degrade gracefully when a report section was not recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+#: default ceilings for the built-in computed rules
+DEFAULT_MIN_UTILIZATION = 0.9        # the kv knee efficiency
+DEFAULT_MAX_OVERHEAD_RATIO = 1.02    # telemetry/reliability wall-clock adds
+DEFAULT_MAX_GAP_S = 1e-3             # attentiveness ceiling (simulated)
+DEFAULT_MAX_RETX_RATE = 0.05         # retransmits per NIC op
+DEFAULT_MAX_STALL_FRAC = 0.5         # agg credit stall share of served time
+DEFAULT_MAX_BACKPRESSURE_SHARE = 0.6 # of the span attribution total
+
+_OPS = {
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Verdict:
+    """One evaluated rule plus a detail line.
+
+    Statuses: PASS, FAIL (always fails the run), WARN (fails only under
+    ``--strict``), INFO (never fails — honest numbers that reflect the
+    host rather than the code, e.g. advisory perf gates), SKIP (input or
+    report section absent).
+    """
+
+    def __init__(self, name: str, status: str, detail: str, severity: str = "fail"):
+        self.name = name
+        self.status = status
+        self.detail = detail
+        self.severity = severity
+
+    def line(self) -> str:
+        return f"[{self.status:4s}] {self.name}: {self.detail}"
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "status": self.status,
+                "detail": self.detail, "severity": self.severity}
+
+
+def _lookup(doc: Any, path: str) -> Any:
+    """Dotted-path lookup (`a.b.0.c`); returns None when absent."""
+    cur = doc
+    for part in path.split("."):
+        if isinstance(cur, dict):
+            if part not in cur:
+                return None
+            cur = cur[part]
+        elif isinstance(cur, list):
+            try:
+                cur = cur[int(part)]
+            except (ValueError, IndexError):
+                return None
+        else:
+            return None
+    return cur
+
+
+def eval_rule(rule: dict, docs: Dict[str, Optional[dict]]) -> Verdict:
+    """Evaluate one declarative rule against the loaded documents."""
+    name = rule.get("name", rule.get("path", "rule"))
+    severity = rule.get("severity", "fail")
+    doc = docs.get(rule.get("doc", "bench"))
+    if doc is None:
+        return Verdict(name, "SKIP", f"no {rule.get('doc', 'bench')} document loaded", severity)
+    value = _lookup(doc, rule["path"])
+    if value is None:
+        return Verdict(name, "SKIP", f"path {rule['path']!r} not present", severity)
+    op = rule.get("op", "<=")
+    fn = _OPS.get(op)
+    if fn is None:
+        return Verdict(name, "FAIL", f"unknown op {op!r}", severity)
+    target = rule["value"]
+    ok = bool(fn(value, target))
+    status = "PASS" if ok else ("WARN" if severity == "warn" else "FAIL")
+    return Verdict(name, status, f"{rule['path']} = {value!r} {op} {target!r}", severity)
+
+
+# -------------------------------------------------------- built-in checks
+def _check_bench_gates(bench: dict) -> List[Verdict]:
+    """Every non-advisory, non-skipped harness gate must have passed."""
+    out: List[Verdict] = []
+    for g in bench.get("gates", []):
+        name = f"gate:{g.get('name', '?')}"
+        if g.get("skipped"):
+            out.append(Verdict(name, "SKIP", "gate skipped (workload not run)"))
+            continue
+        detail = (f"measured {g.get('measured_speedup')}x vs target "
+                  f"{g.get('target_speedup')}x")
+        if g.get("advisory"):
+            # advisory = the runner can't meet the gate's documented
+            # cpu/shard requirements; the number is honest but reflects
+            # the host, not the code — informational even under --strict
+            status = "PASS" if g.get("passed") else "INFO"
+            out.append(Verdict(name, status, detail + " (advisory: runner below "
+                               "gate requirements)", "info"))
+        else:
+            out.append(Verdict(name, "PASS" if g.get("passed") else "FAIL", detail))
+    return out
+
+
+def _check_bench_overheads(bench: dict, max_ratio: float) -> List[Verdict]:
+    """Re-evaluate the recorded overhead gates with the bench's own
+    semantics: ratio ceiling plus the 50ms absolute cushion that keeps
+    sub-second smoke runs from flaking on scheduler jitter."""
+    out: List[Verdict] = []
+    for key in ("telemetry_overhead", "reliability_bookkeeping"):
+        sec = bench.get(key)
+        if not isinstance(sec, dict) or "ratio" not in sec:
+            out.append(Verdict(f"overhead:{key}", "SKIP", "section not recorded"))
+            continue
+        base_s = sec.get("base_s")
+        with_s = sec.get("with_s")
+        if base_s is not None and with_s is not None:
+            ceiling = max(base_s * max_ratio, base_s + 0.05)
+            ok = with_s <= ceiling
+            detail = (f"{base_s:.3f}s -> {with_s:.3f}s "
+                      f"(ratio {sec['ratio']:.4f}, ceiling {ceiling:.3f}s)")
+        else:
+            ok = sec["ratio"] <= max_ratio
+            detail = f"wall ratio {sec['ratio']:.4f} <= {max_ratio}"
+        out.append(Verdict(f"overhead:{key}", "PASS" if ok else "FAIL", detail))
+    return out
+
+
+def _check_bench_kv_capacity(bench: dict, min_util: float) -> List[Verdict]:
+    """Below-knee sweep points must hold the knee efficiency."""
+    cap = bench.get("kv_capacity")
+    if not isinstance(cap, dict):
+        return [Verdict("kv-capacity", "SKIP", "no kv_capacity sweep recorded")]
+    out: List[Verdict] = []
+    knee = cap.get("knee")
+    knee_mult = knee["multiplier"] if knee else None
+    bad = []
+    for p in cap.get("curve", []):
+        if knee_mult is not None and p["multiplier"] >= knee_mult:
+            continue  # at/above the knee saturation is expected
+        if p["utilization"] < min_util:
+            bad.append(p["multiplier"])
+    if bad:
+        out.append(Verdict(
+            "kv-capacity", "FAIL",
+            f"below-knee points x{bad} under utilization floor {min_util}",
+        ))
+    else:
+        desc = (f"knee at x{knee_mult}" if knee_mult is not None
+                else "no knee found in sweep")
+        out.append(Verdict(
+            "kv-capacity", "PASS",
+            f"below-knee utilization >= {min_util} ({desc}, capacity "
+            f"{cap.get('capacity_per_rank_rps')} req/s/rank)",
+        ))
+    return out
+
+
+def _check_bench_backpressure(bench: dict, max_share: float) -> List[Verdict]:
+    attr = bench.get("span_attribution")
+    if not isinstance(attr, dict) or not attr:
+        return [Verdict("backpressure-share", "SKIP", "no span_attribution section")]
+    out: List[Verdict] = []
+    for backend, sec in sorted(attr.items()):
+        parts = sec.get("attribution_s")
+        if not isinstance(parts, dict):
+            continue
+        total = sum(v for v in parts.values() if isinstance(v, (int, float)))
+        share = (parts.get("backpressure", 0.0) / total) if total > 0 else 0.0
+        ok = share <= max_share
+        out.append(Verdict(
+            f"backpressure-share:{backend}",
+            "PASS" if ok else "WARN",
+            f"backpressure {share:.3f} of attributed time <= {max_share}",
+            "warn",
+        ))
+    return out
+
+
+def _check_kv_point(kv: dict, min_util: float, p99_slo: Optional[float],
+                    p999_slo: Optional[float]) -> List[Verdict]:
+    out: List[Verdict] = []
+    util = kv.get("utilization")
+    if util is not None:
+        ok = util >= min_util
+        detail = (f"achieved {kv.get('achieved_rps')}/{kv.get('offered_rps')} req/s, "
+                  f"utilization {util} >= {min_util}")
+        if not ok:
+            detail += " — service is saturated (offered load above the knee)"
+        out.append(Verdict("kv-utilization", "PASS" if ok else "FAIL", detail))
+    for pct, slo in (("p99_s", p99_slo), ("p999_s", p999_slo)):
+        if slo is None:
+            continue
+        v = kv.get(pct)
+        if v is None:
+            out.append(Verdict(f"kv-{pct[:-2]}", "SKIP", f"{pct} not present"))
+            continue
+        ok = v <= slo
+        out.append(Verdict(
+            f"kv-{pct[:-2]}", "PASS" if ok else "FAIL",
+            f"{pct} = {v * 1e6:.1f}us <= SLO {slo * 1e6:.1f}us",
+        ))
+    return out
+
+
+def _check_telemetry(tel: dict, max_gap: float, max_retx_rate: float,
+                     max_stall_frac: float) -> List[Verdict]:
+    ranks = tel.get("ranks", {})
+    if not ranks:
+        return [Verdict("telemetry", "SKIP", "no per-rank telemetry present")]
+    worst_gap = 0.0
+    retx = nic_ops = 0
+    stall = 0.0
+    t_end = 0.0
+    for rt in ranks.values():
+        wins = rt.get("windows", [])
+        for w in wins:
+            if w.get("max_gap_s", 0.0) > worst_gap:
+                worst_gap = w["max_gap_s"]
+        if wins:
+            last = wins[-1]
+            retx += last["rel"]["retx"]
+            nic = last["nic"]
+            nic_ops += nic["puts"] + nic["gets"] + nic["ams"] + nic["amos"]
+            stall += last["agg"]["credit_stall_s"]
+            if last["t"] > t_end:
+                t_end = last["t"]
+    out = [Verdict(
+        "attentiveness-gap",
+        "PASS" if worst_gap <= max_gap else "WARN",
+        f"max progress gap {worst_gap * 1e6:.1f}us <= {max_gap * 1e6:.1f}us",
+        "warn",
+    )]
+    rate = (retx / nic_ops) if nic_ops else 0.0
+    out.append(Verdict(
+        "retransmit-rate",
+        "PASS" if rate <= max_retx_rate else "WARN",
+        f"{retx} retransmits / {nic_ops} NIC ops = {rate:.4f} <= {max_retx_rate}",
+        "warn",
+    ))
+    n = len(ranks)
+    frac = (stall / (n * t_end)) if t_end > 0 else 0.0
+    out.append(Verdict(
+        "credit-stall-fraction",
+        "PASS" if frac <= max_stall_frac else "WARN",
+        f"agg credit stall {frac:.3f} of rank-time <= {max_stall_frac}",
+        "warn",
+    ))
+    return out
+
+
+# ---------------------------------------------------------------- evaluate
+def evaluate(docs: Dict[str, Optional[dict]], rules: Sequence[dict] = (),
+             min_utilization: float = DEFAULT_MIN_UTILIZATION,
+             max_overhead_ratio: float = DEFAULT_MAX_OVERHEAD_RATIO,
+             p99_slo: Optional[float] = None,
+             p999_slo: Optional[float] = None,
+             max_gap_s: float = DEFAULT_MAX_GAP_S,
+             max_retx_rate: float = DEFAULT_MAX_RETX_RATE,
+             max_stall_frac: float = DEFAULT_MAX_STALL_FRAC,
+             max_backpressure_share: float = DEFAULT_MAX_BACKPRESSURE_SHARE,
+             ) -> List[Verdict]:
+    """Run the built-in checks plus any declarative rules."""
+    verdicts: List[Verdict] = []
+    bench = docs.get("bench")
+    if bench is not None:
+        verdicts.extend(_check_bench_gates(bench))
+        verdicts.extend(_check_bench_overheads(bench, max_overhead_ratio))
+        verdicts.extend(_check_bench_kv_capacity(bench, min_utilization))
+        verdicts.extend(_check_bench_backpressure(bench, max_backpressure_share))
+    kv = docs.get("kv")
+    if kv is not None:
+        verdicts.extend(_check_kv_point(kv, min_utilization, p99_slo, p999_slo))
+    tel = docs.get("telemetry")
+    if tel is not None:
+        verdicts.extend(_check_telemetry(tel, max_gap_s, max_retx_rate, max_stall_frac))
+    for rule in rules:
+        verdicts.append(eval_rule(rule, docs))
+    return verdicts
+
+
+def _load(path: Optional[str]) -> Optional[dict]:
+    if not path:
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default=None, help="BENCH_perf.json report")
+    ap.add_argument("--kv", default=None, help="one kv_bench summarize_point JSON")
+    ap.add_argument("--telemetry", default=None, help="Telemetry.as_dict JSON dump")
+    ap.add_argument("--rules", default=None, help="extra declarative rules (JSON list)")
+    ap.add_argument("--min-utilization", type=float, default=DEFAULT_MIN_UTILIZATION)
+    ap.add_argument("--max-overhead-ratio", type=float, default=DEFAULT_MAX_OVERHEAD_RATIO)
+    ap.add_argument("--p99-slo", type=float, default=None,
+                    help="p99 sojourn SLO in seconds (kv doc)")
+    ap.add_argument("--p999-slo", type=float, default=None,
+                    help="p999 sojourn SLO in seconds (kv doc)")
+    ap.add_argument("--max-gap", type=float, default=DEFAULT_MAX_GAP_S,
+                    help="attentiveness ceiling in simulated seconds")
+    ap.add_argument("--max-retx-rate", type=float, default=DEFAULT_MAX_RETX_RATE)
+    ap.add_argument("--max-stall-frac", type=float, default=DEFAULT_MAX_STALL_FRAC)
+    ap.add_argument("--max-backpressure-share", type=float,
+                    default=DEFAULT_MAX_BACKPRESSURE_SHARE)
+    ap.add_argument("--strict", action="store_true",
+                    help="WARN-severity violations also fail the run")
+    ap.add_argument("--out", default=None, help="write the verdict list as JSON here")
+    args = ap.parse_args(argv)
+
+    docs = {
+        "bench": _load(args.bench),
+        "kv": _load(args.kv),
+        "telemetry": _load(args.telemetry),
+    }
+    if all(d is None for d in docs.values()):
+        ap.error("nothing to check: pass at least one of --bench/--kv/--telemetry")
+    rules = _load(args.rules) or []
+
+    verdicts = evaluate(
+        docs, rules,
+        min_utilization=args.min_utilization,
+        max_overhead_ratio=args.max_overhead_ratio,
+        p99_slo=args.p99_slo,
+        p999_slo=args.p999_slo,
+        max_gap_s=args.max_gap,
+        max_retx_rate=args.max_retx_rate,
+        max_stall_frac=args.max_stall_frac,
+        max_backpressure_share=args.max_backpressure_share,
+    )
+    for v in verdicts:
+        print(v.line())
+    n_fail = sum(1 for v in verdicts if v.status == "FAIL")
+    n_warn = sum(1 for v in verdicts if v.status == "WARN")
+    n_pass = sum(1 for v in verdicts if v.status == "PASS")
+    n_info = sum(1 for v in verdicts if v.status == "INFO")
+    bad = n_fail + (n_warn if args.strict else 0)
+    print(f"[health] {n_pass} pass, {n_warn} warn, {n_info} info, {n_fail} fail"
+          + (" (strict: warnings fail)" if args.strict else ""))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump({"verdicts": [v.as_dict() for v in verdicts],
+                       "healthy": bad == 0}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -191,6 +191,9 @@ def _kv_body():
 
     Small credit window + hot-key cache so the walk can surface the new
     ``backpressure`` (credit_wait) and ``cache`` (cache_hit) buckets.
+    Returns ``(t0, t1, svc.result())`` — the third element carries the
+    per-rank latency histograms the report folds into request-level
+    p50/p95/p99/p999.
     """
     import repro.upcxx as upcxx
     from repro.apps.kvservice import KvService, TrafficModel
@@ -214,7 +217,7 @@ def _kv_body():
             svc.put(key, val, t0 + dt)
         svc.poll()
     svc.drain()
-    return (t0, upcxx.sim_now())
+    return (t0, upcxx.sim_now(), svc.result())
 
 
 #: workload name -> (body, ranks, ppn)
@@ -263,6 +266,9 @@ def analyze_workload(
             lo, hi = st["ranks"]
             for r in range(lo, hi):
                 shard_of[r] = st["shard"]
+    kv_latency = None
+    if all(r is not None and len(r) > 2 for r in results):
+        kv_latency = _kv_latency_summary([r[2] for r in results])
     return {
         "workload": name,
         "backend": backend,
@@ -277,8 +283,44 @@ def analyze_workload(
             for s in segments
         ],
         "diagnostics": diag,
+        "kv_latency": kv_latency,
         "_spans": spans,      # stripped before JSON output
         "_shard_of": shard_of,
+    }
+
+
+def _kv_latency_summary(records: Sequence[dict]) -> dict:
+    """Cross-rank request-latency percentiles from per-rank kv records.
+
+    Merges every rank's read/write :class:`DwellHistogram` (exact merge —
+    the histograms are log-bucketed counters, so cross-rank aggregation
+    is deterministic and order-free) and reports p50/p95/p99/p999 per
+    class and combined.
+    """
+    from repro.util.metrics import DwellHistogram
+
+    read, write = DwellHistogram(), DwellHistogram()
+    for rec in records:
+        read.merge(DwellHistogram.from_dict(rec["read_lat"]))
+        write.merge(DwellHistogram.from_dict(rec["write_lat"]))
+    combined = DwellHistogram()
+    combined.merge(read)
+    combined.merge(write)
+
+    def pcts(h: DwellHistogram) -> dict:
+        return {
+            "p50_s": h.percentile(50),
+            "p95_s": h.percentile(95),
+            "p99_s": h.percentile(99),
+            "p999_s": h.percentile(99.9),
+        }
+
+    return {
+        "reads": sum(rec["reads"] for rec in records),
+        "writes": sum(rec["writes"] for rec in records),
+        "read": pcts(read),
+        "write": pcts(write),
+        "all": pcts(combined),
     }
 
 
@@ -334,6 +376,20 @@ def _render_text(reports: List[dict], identical: bool) -> str:
         elif any(diag.get(k) for k in
                  ("frames_dropped", "frames_duplicated", "frames_retransmitted")):
             lines.append("reliability: " + rel)
+        kv = rep.get("kv_latency")
+        if kv:
+            lines.append(
+                f"kv request latency ({kv['reads']} reads / {kv['writes']} writes, "
+                "cross-rank merged):"
+            )
+            for cls in ("read", "write", "all"):
+                p = kv[cls]
+                lines.append(
+                    f"  {cls:>13}  p50 {p['p50_s'] * 1e6:8.2f} us  "
+                    f"p95 {p['p95_s'] * 1e6:8.2f} us  "
+                    f"p99 {p['p99_s'] * 1e6:8.2f} us  "
+                    f"p999 {p['p999_s'] * 1e6:8.2f} us"
+                )
         segs = rep["critical_path"]
         lines.append(f"critical path: {len(segs)} segments; longest:")
         longest = sorted(segs, key=lambda s: s["t1"] - s["t0"], reverse=True)[:8]

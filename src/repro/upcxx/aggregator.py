@@ -431,6 +431,9 @@ class AggStore:
             v = cache.get(key, _MISS)
             if v is not _MISS:
                 self.cache_hits += 1
+                # endpoint-level mirror: telemetry rollups snapshot the
+                # conduit endpoint, which outlives any one AggStore
+                rt._ep.agg_cache_hits += 1
                 t0 = rt.now()
                 rt.charge_sw(rt.cpu.map_lookup)
                 sp = rt.spans

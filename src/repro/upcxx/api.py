@@ -15,6 +15,7 @@ from repro.gasnet.cpumodel import CpuModel, platform_cpu
 from repro.gasnet.machine import Machine
 from repro.gasnet.network import AriesNetwork, NetworkModel
 from repro.sim.coop import Scheduler, current_scheduler
+from repro.sim.errors import RankDeadError, RankFailure
 from repro.sim.faults import FaultPlan
 from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
 from repro.upcxx.errors import NotInSpmdError
@@ -43,6 +44,7 @@ def run_spmd(
     metrics=None,
     trace=None,
     spans=None,
+    telemetry=None,
     backend: Optional[str] = None,
     sched_stats: Optional[dict] = None,
     faults=None,
@@ -58,8 +60,13 @@ def run_spmd(
     exportable to a Perfetto/Chrome trace via
     :func:`repro.util.export_chrome_trace` — and/or ``spans`` (a
     :class:`repro.util.SpanBuffer`) to capture per-operation causal spans
-    for the ``repro.tools.report`` critical-path analysis.  All default to
-    off and cost nothing when absent.
+    for the ``repro.tools.report`` critical-path analysis.  Pass
+    ``telemetry`` (a :class:`repro.util.Telemetry`) for windowed counter
+    rollups plus an always-on flight recorder — when the run ends in
+    :class:`~repro.sim.errors.RankDeadError`/:class:`~repro.sim.errors.RankFailure`
+    a post-mortem ``blackbox`` bundle is assembled (and written to
+    ``telemetry.blackbox_path`` when configured) before the error
+    propagates.  All default to off and cost nothing when absent.
 
     ``backend`` selects the scheduler implementation ("coroutines",
     "threads", or "sharded"; default: ``$REPRO_SIM_BACKEND`` or
@@ -87,7 +94,7 @@ def run_spmd(
         cfg(machine, network)
     world = World(
         sched, machine, network, cpu, costs, segment_size, seed,
-        metrics=metrics, spans=spans, faults=faults,
+        metrics=metrics, spans=spans, faults=faults, telemetry=telemetry,
     )
 
     def bootstrap(rank: int):
@@ -100,13 +107,26 @@ def run_spmd(
             # REPRO_PROFILE=1: cProfile one rank's body (see util.profile)
             body = maybe_profiled(fn, rank)
         try:
-            return body()
+            result = body()
+            # close the final (partial) rollup window at the rank's own
+            # completion time — only on the success path, where the clock
+            # read is deterministic (abort unwinding is not)
+            rt._telemetry_finalize()
+            return result
         finally:
             sched.set_client(None)
             sched.rank_env().pop("upcxx_rt", None)
 
     try:
         return sched.run(bootstrap)
+    except (RankDeadError, RankFailure) as err:
+        tel = world.telemetry
+        if tel is not None:
+            # post-mortem flight-recorder bundle; on the sharded backend
+            # the per-rank state was merged back through the FAIL/ok
+            # payloads before the error was re-raised here
+            tel.emit_blackbox(err, faults)
+        raise
     finally:
         if sched_stats is not None:
             sched_stats.update(sched.stats())

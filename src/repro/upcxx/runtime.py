@@ -33,7 +33,7 @@ from repro.gasnet.cpumodel import CpuModel
 from repro.gasnet.machine import Machine
 from repro.gasnet.network import NetworkModel
 from repro.sim.coop import Scheduler, current_client, current_scheduler
-from repro.sim.errors import RankCrashed, RankDeadError
+from repro.sim.errors import RankCrashed
 from repro.sim.rng import RankRandom
 from repro.upcxx.costs import DEFAULT_COSTS, UpcxxCosts
 from repro.upcxx.errors import NotInSpmdError
@@ -132,6 +132,7 @@ class World:
         metrics=None,
         spans=None,
         faults=None,
+        telemetry=None,
     ):
         self.sched = sched
         self.machine = machine
@@ -143,11 +144,19 @@ class World:
         self.metrics = metrics if metrics is not None and metrics.enabled else None
         #: optional repro.util.spans.SpanBuffer collecting causal spans
         self.spans = spans if spans is not None and spans.enabled else None
+        #: optional repro.util.telemetry.Telemetry (windowed rollups +
+        #: flight recorder); same gating discipline as metrics/spans
+        self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
+        if self.telemetry is not None and faults is not None and faults.crashes:
+            # freeze rings/windows at the first crash time so post-mortem
+            # bundles are bit-identical across backends (the sharded
+            # backend over-executes survivors past the abort point)
+            self.telemetry.freeze_at = min(faults.crashes.values())
         #: optional repro.sim.faults.FaultPlan (chaos injection)
         self.faults = faults
         self.conduit = Conduit(
             sched, machine, network, segment_size, metrics=self.metrics,
-            spans=self.spans, faults=faults,
+            spans=self.spans, faults=faults, telemetry=self.telemetry,
         )
         self.conduit._remote_cx_deliver = self._deliver_remote_cx
         self.n_ranks = sched.n_ranks
@@ -195,6 +204,11 @@ class Runtime:
         self.metrics = world.metrics.rank(rank) if world.metrics is not None else None
         #: causal span buffer (None when span tracing is off)
         self.spans = world.spans
+        #: per-rank telemetry sink (None when telemetry is off); the
+        #: endpoint reference feeds NIC/reliability/agg counters into
+        #: rollup snapshots without touching the conduit hot path
+        self.telemetry = world.telemetry.rank(rank) if world.telemetry is not None else None
+        self._ep = world.conduit.endpoints[rank]
         #: per-rank span-id counter; sids are (rank, seq), minted in rank
         #: context in program order, hence identical on every backend
         self._span_seq = 0
@@ -277,11 +291,7 @@ class Runtime:
         """
         rank = self.rank
         sched = self.sched
-        err = RankDeadError(
-            rank,
-            f"rank {rank} died at t={t_die!r} "
-            f"(heartbeat timeout after {plan.detect_timeout!r}s)",
-        )
+        err = plan.dead_error(rank)
 
         def die() -> None:
             self._crash_at = t_die
@@ -296,6 +306,36 @@ class Runtime:
 
         sched.post_at(t_die, die)
         sched.post_at(t_die + plan.detect_timeout, detect)
+
+    # ----------------------------------------------------------- telemetry
+    def _pending_snapshot(self) -> dict:
+        """JSON-safe snapshot of this rank's in-flight operation state.
+
+        Feeds the blackbox pending-op table: queue depths plus a bounded
+        sample of operation descriptions (rank-local state read in program
+        order, hence identical on every backend).
+        """
+        from repro.util.telemetry import _PENDING_DETAIL
+
+        return {
+            "defQ": len(self.defQ),
+            "actQ": len(self.actQ),
+            "actQ_ops": [str(v) for v in list(self.actQ.values())[:_PENDING_DETAIL]],
+            "compQ": len(self.compQ),
+            "compQ_kinds": [it.kind for it in list(self.compQ)[:_PENDING_DETAIL]],
+            "staged": len(self._gasnet_done),
+            "replies": len(self.reply_table),
+        }
+
+    def _telemetry_finalize(self) -> None:
+        """Close the final (partial) rollup window at normal completion."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.finalize(
+                self.sched.now(),
+                (len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)),
+                self._ep,
+            )
 
     # --------------------------------------------------------------- charges
     def charge_sw(self, base_seconds: float) -> None:
@@ -368,7 +408,17 @@ class Runtime:
         Drains defQ into the conduit, promotes conduit completions into
         compQ, and moves due inbox AMs into compQ.  Does NOT execute compQ.
         """
+        tel = self.telemetry
         if self._crash_at is not None:
+            if tel is not None:
+                # capture the dying rank's in-flight state at its last
+                # deterministic point (queue contents as of the previous
+                # suspension — identical on every backend)
+                tel.record_death(
+                    self._crash_at, self._pending_snapshot(),
+                    (len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)),
+                    self._ep,
+                )
             raise RankCrashed(f"rank {self.rank} crashed at t={self._crash_at!r}")
         # ensure due network events have been delivered at our clock
         sched = self.sched
@@ -378,11 +428,18 @@ class Runtime:
             m.sample_queues(
                 sched.now(), len(self.defQ), len(self.actQ), len(self.compQ), len(self._gasnet_done)
             )
+        if tel is not None:
+            tel.tick(
+                sched.now(), len(self.defQ), len(self.actQ), len(self.compQ),
+                len(self._gasnet_done), self._ep,
+            )
         defQ = self.defQ
         while defQ:
             injector, kind, nbytes, t_enq = defQ.popleft()
             if m is not None:
                 m.op_injected(kind, nbytes, sched.now() - t_enq)
+            if tel is not None:
+                tel.op(kind, nbytes)
             injector()
         compQ = self.compQ
         staged = self._gasnet_done
@@ -405,6 +462,8 @@ class Runtime:
                     raise NotInSpmdError(f"no dispatcher for AM tag {msg.tag!r}")
                 if m is not None:
                     m.am_polled(msg.tag, now - msg.arrival)
+                if tel is not None:
+                    tel.am(now, msg.tag)
                 if trace.enabled:
                     trace.record(now, self.rank, "am", msg.tag)
                 item = handler(self, msg)
@@ -444,8 +503,9 @@ class Runtime:
         staged = self._gasnet_done
         trace = self._trace
         sp = self.spans
+        tel = self.telemetry
         release = CompQItem.release
-        if m is None and sp is None and not trace.enabled:
+        if m is None and sp is None and tel is None and not trace.enabled:
             # Observability off: the execute loop carries zero per-item
             # instrumentation — charge, run, release (the "zero-cost when
             # off" discipline; one sentinel check for the whole drain).
@@ -475,6 +535,8 @@ class Runtime:
                 m.op_executed(item, sched.now())
             if trace.enabled:
                 trace.record(sched.now(), self.rank, "exec", item.kind)
+            if tel is not None:
+                tel.exec_note(item.kind)
             item.fn()
             if sid is not None:
                 # compQ dwell (attentiveness) then execution software; the

@@ -22,9 +22,11 @@ from repro.util.records import BenchSeries, BenchTable, format_table
 from repro.util.trace import TraceBuffer, TraceEvent
 from repro.util.metrics import DwellHistogram, Metrics, RankMetrics
 from repro.util.spans import PHASES, SpanBuffer
+from repro.util.telemetry import RankTelemetry, Telemetry, dumps_blackbox
 from repro.util.trace_export import (
     chrome_trace,
     chrome_trace_span_events,
+    chrome_trace_telemetry_events,
     dumps_chrome_trace,
     dumps_metrics,
     export_chrome_trace,
@@ -55,8 +57,12 @@ __all__ = [
     "DwellHistogram",
     "PHASES",
     "SpanBuffer",
+    "Telemetry",
+    "RankTelemetry",
+    "dumps_blackbox",
     "chrome_trace",
     "chrome_trace_span_events",
+    "chrome_trace_telemetry_events",
     "dumps_chrome_trace",
     "dumps_metrics",
     "export_chrome_trace",

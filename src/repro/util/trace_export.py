@@ -184,15 +184,96 @@ def chrome_trace_span_events(
     return events
 
 
+def chrome_trace_telemetry_events(
+    telemetry, shard_of: Optional[Sequence[int]] = None
+) -> List[dict]:
+    """Render telemetry rollup windows as Perfetto counter ("C") tracks.
+
+    One sample per closed window on the owning rank's lane; cumulative
+    snapshots are differenced into per-window activity so the tracks plot
+    *rates*, while queue depths, NIC backlog and the attentiveness gap are
+    instantaneous.  Five tracks per rank: ``tel.ops`` (injections/execs/
+    AM polls), ``tel.queues`` (defQ/actQ/compQ/staged), ``tel.nic``
+    (bytes + backlog + retransmits), ``tel.agg`` (batches/updates/stall/
+    cache hits) and ``tel.attentiveness`` (max progress gap).  Pure
+    function of the telemetry state — byte-identical across backends.
+    """
+    events: List[dict] = []
+    ranks_map = telemetry.ranks
+    events.extend(_meta_events(sorted(ranks_map), shard_of))
+    for rank, rt in sorted(ranks_map.items()):
+        pid = _pid_of(shard_of, rank)
+        prev_ops = prev_exec = prev_ams = 0
+        prev_bytes = prev_retx = 0
+        prev_batches = prev_updates = prev_hits = 0
+        prev_stall = 0.0
+        for win in rt.windows:
+            ts = win["t"] * _US
+            n_ops = sum(win["ops"].values())
+            n_bytes = win["nic"]["bytes_out"]
+            n_retx = win["rel"]["retx"]
+            agg = win["agg"]
+            base = {"pid": pid, "tid": rank, "ph": "C", "ts": ts}
+            events.append(dict(base, name=f"rank {rank} tel.ops", cat="telemetry", args={
+                "injected": n_ops - prev_ops,
+                "executed": win["executed"] - prev_exec,
+                "am_polls": win["ams"] - prev_ams,
+            }))
+            events.append(dict(base, name=f"rank {rank} tel.queues", cat="telemetry", args={
+                "defQ": win["queues"][0],
+                "actQ": win["queues"][1],
+                "compQ": win["queues"][2],
+                "staged": win["queues"][3],
+            }))
+            events.append(dict(base, name=f"rank {rank} tel.nic", cat="telemetry", args={
+                "bytes_out": n_bytes - prev_bytes,
+                "backlog_us": win["nic"]["backlog_s"] * _US,
+                "retransmits": n_retx - prev_retx,
+            }))
+            events.append(dict(base, name=f"rank {rank} tel.agg", cat="telemetry", args={
+                "batches": agg["batches"] - prev_batches,
+                "updates": agg["updates"] - prev_updates,
+                "credit_stall_us": (agg["credit_stall_s"] - prev_stall) * _US,
+                "cache_hits": agg["cache_hits"] - prev_hits,
+            }))
+            events.append(dict(base, name=f"rank {rank} tel.attentiveness",
+                               cat="telemetry", args={
+                "max_gap_us": win["max_gap_s"] * _US,
+            }))
+            prev_ops, prev_exec, prev_ams = n_ops, win["executed"], win["ams"]
+            prev_bytes, prev_retx = n_bytes, n_retx
+            prev_batches, prev_updates = agg["batches"], agg["updates"]
+            prev_hits, prev_stall = agg["cache_hits"], agg["credit_stall_s"]
+    events.sort(key=lambda e: (e.get("ts", -1.0), e["pid"], e["tid"], e["ph"], e["name"]))
+    return events
+
+
 def chrome_trace(
     trace: TraceBuffer,
     metrics: Optional[Metrics] = None,
     shard_of: Optional[Sequence[int]] = None,
+    telemetry=None,
 ) -> dict:
     """The full Chrome Trace Event JSON document."""
+    events = chrome_trace_events(trace, metrics, shard_of)
+    if telemetry is not None:
+        # counter tracks interleave with the span/instant lanes; re-sort so
+        # the merged stream keeps the canonical deterministic order
+        events.extend(chrome_trace_telemetry_events(telemetry, shard_of))
+        seen = set()
+        deduped = []
+        for e in events:
+            if e["ph"] == "M":
+                key = (e["name"], e["pid"], e["tid"])
+                if key in seen:
+                    continue
+                seen.add(key)
+            deduped.append(e)
+        events = deduped
+        events.sort(key=lambda e: (e.get("ts", -1.0), e["pid"], e["tid"], e["ph"], e["name"]))
     return {
         "displayTimeUnit": "ms",
-        "traceEvents": chrome_trace_events(trace, metrics, shard_of),
+        "traceEvents": events,
     }
 
 
@@ -200,10 +281,12 @@ def dumps_chrome_trace(
     trace: TraceBuffer,
     metrics: Optional[Metrics] = None,
     shard_of: Optional[Sequence[int]] = None,
+    telemetry=None,
 ) -> str:
     """Deterministic JSON text of the trace (byte-stable across runs)."""
     return json.dumps(
-        chrome_trace(trace, metrics, shard_of), sort_keys=True, separators=(",", ":")
+        chrome_trace(trace, metrics, shard_of, telemetry),
+        sort_keys=True, separators=(",", ":")
     )
 
 
@@ -212,9 +295,10 @@ def export_chrome_trace(
     trace: TraceBuffer,
     metrics: Optional[Metrics] = None,
     shard_of: Optional[Sequence[int]] = None,
+    telemetry=None,
 ) -> Union[str, IO[str]]:
     """Write the trace JSON to ``dest`` (a path or open text file)."""
-    text = dumps_chrome_trace(trace, metrics, shard_of)
+    text = dumps_chrome_trace(trace, metrics, shard_of, telemetry)
     if isinstance(dest, str):
         with open(dest, "w") as fh:
             fh.write(text)

@@ -20,6 +20,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
         ("extend_add_demo.py", "correctness vs dense serial reference: OK"),
         ("stencil_halo.py", "stencil_halo finished."),
         ("kmer_count.py", "kmer_count finished."),
+        ("observability_demo.py", "observability_demo finished."),
     ],
 )
 def test_example_runs(script, expect):

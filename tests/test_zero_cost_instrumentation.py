@@ -25,6 +25,7 @@ import repro.upcxx as upcxx
 from repro.upcxx.runtime import CompQItem, Runtime
 from repro.util.metrics import DwellHistogram
 from repro.util.spans import SpanBuffer
+from repro.util.telemetry import RankTelemetry, Telemetry
 
 #: DHT smoke geometry: small enough for CI, big enough to cross every
 #: op-lifecycle stage (rpc + reply + rput chains, barriers, progress)
@@ -125,6 +126,77 @@ def test_workload_results_identical_with_and_without_observers():
     res_off = upcxx.run_spmd(_dht_body, N_RANKS, ppn=8, seed=7, sched_stats=stats_a)
     res_on = upcxx.run_spmd(
         _dht_body, N_RANKS, ppn=8, seed=7, spans=SpanBuffer(), sched_stats=stats_b
+    )
+    assert res_off == res_on
+    assert stats_a["events_fired"] == stats_b["events_fired"]
+
+
+# ------------------------------------------------------- telemetry zero-cost
+def _run_telemetry_counted(monkeypatch, **spmd_kwargs):
+    """Run the DHT body counting telemetry samples and ring appends."""
+    counts = {"ticks": 0, "notes": 0}
+
+    orig_tick = RankTelemetry.tick
+
+    def counting_tick(self, *a, **k):
+        counts["ticks"] += 1
+        return orig_tick(self, *a, **k)
+
+    orig_note = RankTelemetry.note
+
+    def counting_note(self, *a, **k):
+        counts["notes"] += 1
+        return orig_note(self, *a, **k)
+
+    monkeypatch.setattr(RankTelemetry, "tick", counting_tick)
+    monkeypatch.setattr(RankTelemetry, "note", counting_note)
+    upcxx.run_spmd(_dht_body, N_RANKS, ppn=8, seed=7, **spmd_kwargs)
+    return counts["ticks"], counts["notes"]
+
+
+def test_no_telemetry_work_when_off(monkeypatch):
+    """No sink installed: zero window samples, zero flight-recorder
+    appends — the telemetry surface must be a single is-None check."""
+    ticks, notes = _run_telemetry_counted(monkeypatch)
+    assert ticks == 0, f"{ticks} telemetry ticks with telemetry disabled"
+    assert notes == 0, f"{notes} ring appends with telemetry disabled"
+
+
+def test_disabled_telemetry_sink_is_free(monkeypatch):
+    """A constructed Telemetry with enabled=False is indistinguishable
+    from no sink (the runtime nulls it once at startup)."""
+    tel = Telemetry(enabled=False)
+    ticks, notes = _run_telemetry_counted(monkeypatch, telemetry=tel)
+    assert ticks == 0
+    assert notes == 0
+    assert tel.ranks == {}
+
+
+def test_enabled_telemetry_still_records(monkeypatch):
+    """Control arm: the counters do observe real telemetry traffic."""
+    tel = Telemetry()
+    ticks, notes = _run_telemetry_counted(monkeypatch, telemetry=tel)
+    assert ticks > 0
+    assert notes > 0
+    assert all(rt.windows for rt in tel.ranks.values())
+
+
+def test_budgets_hold_with_telemetry_off(monkeypatch):
+    """The original event/alloc budgets are unchanged by the telemetry
+    subsystem existing: off means off."""
+    sids, records, allocs, stats = _run_counted(monkeypatch)
+    assert sids == 0 and records == 0
+    assert stats["events_fired"] <= EVENT_BUDGET, stats
+    assert allocs <= COMPQ_ALLOC_BUDGET
+
+
+def test_telemetry_is_passive():
+    """Same simulated answer and event count with the sink armed."""
+    stats_a: dict = {}
+    stats_b: dict = {}
+    res_off = upcxx.run_spmd(_dht_body, N_RANKS, ppn=8, seed=7, sched_stats=stats_a)
+    res_on = upcxx.run_spmd(
+        _dht_body, N_RANKS, ppn=8, seed=7, telemetry=Telemetry(), sched_stats=stats_b
     )
     assert res_off == res_on
     assert stats_a["events_fired"] == stats_b["events_fired"]
