@@ -10,6 +10,7 @@ and a measurable saturation knee.  See ``docs/kvservice.md``.
 from repro.apps.kvservice.service import (
     SCALES,
     KvService,
+    Overloaded,
     default_config,
     kv_rank_body,
 )
@@ -17,6 +18,7 @@ from repro.apps.kvservice.traffic import TrafficModel, zipf_cdf
 
 __all__ = [
     "KvService",
+    "Overloaded",
     "TrafficModel",
     "zipf_cdf",
     "kv_rank_body",

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 import repro.upcxx as upcxx
 from repro.apps.kvservice import default_config, kv_rank_body
 from repro.util.metrics import DwellHistogram
+from repro.util.telemetry import Telemetry
 
 #: offered-load multipliers the sweep walks (relative to the scale's base
 #: per-rank rate); spans well below and well past the saturation knee
@@ -44,6 +45,14 @@ KNEE_EFFICIENCY = 0.9
 #: write-latency drain wait is part of serving time; seed is fixed so the
 #: measurement is one reproducible simulation, not a statistical sample
 KV_SEED = 7
+
+#: canonical single-crash chaos point: one rank fail-stops mid-run (the
+#: tiny scale serves ~1.3 ms, so 0.35 ms is comfortably mid-stream)
+CRASH_RANK = 3
+CRASH_T_S = 3.5e-4
+
+#: replication factors the crash-availability sweep walks
+CRASH_FACTORS = (1, 2, 3)
 
 
 def run_kv(cfg: dict, backend: str = "coroutines", seed: int = KV_SEED,
@@ -73,7 +82,14 @@ def _merge_latencies(results: Sequence[dict], field: str) -> DwellHistogram:
 
 
 def summarize_point(cfg: dict, results: Sequence[dict]) -> dict:
-    """Fold per-rank records into one sweep point (JSON-ready)."""
+    """Fold per-rank records into one sweep point (JSON-ready).
+
+    ``results`` may contain ``None`` slots: under a survivable crash plan
+    a dead rank returns no record, and the point is computed over the
+    surviving front ends (availability = fraction of *their* accepted
+    requests that were served).
+    """
+    results = [r for r in results if r is not None]
     total = sum(r["reads"] + r["writes"] for r in results)
     t_serve = max(r["t_serve_s"] for r in results)
     lat = _merge_latencies(results, "read_lat")
@@ -94,7 +110,30 @@ def summarize_point(cfg: dict, results: Sequence[dict]) -> dict:
         "cache_misses": sum(r["cache_misses"] for r in results),
         "credit_stalls": sum(r["credit_stalls"] for r in results),
         "batches_sent": sum(r["batches_sent"] for r in results),
+        # -- availability / robustness (zero-valued on calm runs) ----------
+        "requests_issued": sum(r["requests_issued"] for r in results),
+        "requests_served": sum(r["requests_served"] for r in results),
+        "requests_shed": sum(r["requests_shed"] for r in results),
+        "shed_fraction": _ratio(
+            sum(r["requests_shed"] for r in results),
+            sum(r["requests_issued"] + r["requests_shed"] for r in results),
+        ),
+        "writes_lost": sum(r["writes_lost"] for r in results),
+        "availability": _ratio(
+            sum(r["requests_served"] for r in results),
+            sum(r["requests_issued"] for r in results),
+            empty=1.0,
+        ),
+        "failover_reads": sum(r["failover_reads"] for r in results),
+        "rereplicated_keys": sum(r["rereplicated_keys"] for r in results),
+        "synced_keys": sum(r["synced_keys"] for r in results),
+        "recovery_s": max(r["recovery_s"] for r in results),
+        "factor_restored": all(r["factor_restored"] for r in results),
     }
+
+
+def _ratio(num: float, den: float, empty: float = 0.0) -> float:
+    return num / den if den else empty
 
 
 # ------------------------------------------------------------------ ablation
@@ -185,6 +224,78 @@ def measure_point(scale: str, multiplier: float,
     return point
 
 
+# --------------------------------------------------------------------- chaos
+def crash_spec(rank: int = CRASH_RANK, t: float = CRASH_T_S) -> str:
+    """Survivable single-crash fault spec for the chaos measurements."""
+    return f"seed={KV_SEED},crash={rank}@{t:g},survive=1"
+
+
+def measure_crash_point(
+    scale: str = "tiny",
+    backend: str = "coroutines",
+    replication: int = 2,
+    crash_rank: int = CRASH_RANK,
+    crash_t: float = CRASH_T_S,
+) -> dict:
+    """One survivable-crash run: availability + recovery measurements.
+
+    The service runs the scale's base offered load while ``crash_rank``
+    fail-stops at ``crash_t``; the point reports the fraction of the
+    surviving front ends' requests that were served, the lost-write
+    count, and the detection-to-factor-restored recovery time.  Feeds
+    the ``kv_crash_availability`` perf gate and
+    ``repro.tools.health --kv`` in CI's chaos smoke.
+    """
+    cfg = dict(default_config(scale), replication=replication)
+    tel = Telemetry()
+    results, _ = run_kv(
+        cfg, backend, faults=crash_spec(crash_rank, crash_t), telemetry=tel
+    )
+    point = summarize_point(cfg, results)
+    point.update(
+        multiplier=1.0,
+        replication=replication,
+        crash_rank=crash_rank,
+        crash_t_s=crash_t,
+        survivors=sum(1 for r in results if r is not None),
+        ranks=cfg["ranks"],
+        verdict=(tel.blackbox or {}).get("verdict", {}).get("type"),
+    )
+    return point
+
+
+def crash_availability_sweep(
+    scale: str = "tiny",
+    backend: str = "coroutines",
+    factors: Sequence[int] = CRASH_FACTORS,
+) -> dict:
+    """Availability/recovery curve across replication factors.
+
+    The rf=1 point documents the exposure (reads of the dead rank's
+    shard serve defaults, covered writes are lost); rf>=2 is the
+    availability story the replication layer exists for.
+    """
+    points: List[dict] = []
+    for rf in factors:
+        p = measure_crash_point(scale, backend, rf)
+        points.append(p)
+        print(
+            f"[kv] rf={rf}: availability {p['availability']:.4f}, "
+            f"lost writes {p['writes_lost']}, "
+            f"failover reads {p['failover_reads']}, "
+            f"rereplicated {p['rereplicated_keys']} keys, "
+            f"recovery {p['recovery_s'] * 1e6:.0f}us, "
+            f"restored {p['factor_restored']}",
+            flush=True,
+        )
+    return {
+        "scale": scale,
+        "ranks": default_config(scale)["ranks"],
+        "crash": {"rank": CRASH_RANK, "t_s": CRASH_T_S, "spec": crash_spec()},
+        "points": points,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--scale", choices=("tiny", "full", "xl"), default="tiny")
@@ -195,9 +306,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ap.add_argument("--point", type=float, default=None, metavar="MULT",
                     help="measure one offered-load point at MULT x the base "
                     "rate (feeds repro.tools.health --kv)")
+    ap.add_argument("--crash", action="store_true",
+                    help="run the crash availability sweep across "
+                    "replication factors")
+    ap.add_argument("--crash-point", type=int, default=None, metavar="RF",
+                    help="one survivable-crash point at replication RF "
+                    "(feeds the CI chaos-smoke availability gate)")
     ap.add_argument("--out", default=None, help="write JSON here")
     args = ap.parse_args(argv)
-    if args.point is not None:
+    if args.crash_point is not None:
+        doc = measure_crash_point(args.scale, args.backend,
+                                  replication=args.crash_point)
+        print(
+            f"[kv] crash rf={args.crash_point}: "
+            f"availability {doc['availability']:.4f}, "
+            f"lost {doc['writes_lost']}, recovery "
+            f"{doc['recovery_s'] * 1e6:.0f}us, "
+            f"restored {doc['factor_restored']}",
+            flush=True,
+        )
+    elif args.crash:
+        doc = crash_availability_sweep(args.scale, args.backend)
+    elif args.point is not None:
         doc = measure_point(args.scale, args.point, args.backend)
         print(
             f"[kv] x{args.point:g}: utilization {doc['utilization']:.3f}, "

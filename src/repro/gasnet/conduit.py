@@ -61,6 +61,9 @@ class _Endpoint:
         "agg_updates",
         "agg_credit_stall_s",
         "agg_cache_hits",
+        "kv_shed",
+        "kv_failover_reads",
+        "kv_rereplicated",
     )
 
     def __init__(self, rank: int, segment_size: int):
@@ -90,6 +93,12 @@ class _Endpoint:
         self.agg_updates = 0
         self.agg_credit_stall_s = 0.0
         self.agg_cache_hits = 0
+        # service/replication-layer counters (repro.upcxx.replication and
+        # the KV service): admission-control sheds, reads retargeted to a
+        # surviving replica, and keys re-shipped to restore the factor
+        self.kv_shed = 0
+        self.kv_failover_reads = 0
+        self.kv_rereplicated = 0
 
 
 #: atomic ops supported by the simulated NIC (name -> (applies, returns_old))
@@ -1034,6 +1043,20 @@ class Conduit:
             self._shard.emit_envelope(src, done, "cpl", (hid, True, old))
 
     # ------------------------------------------------------------------ misc
+    def peer_send_cutoff(self, rank: int) -> float:
+        """Simulated time after which frames addressed to ``rank`` are
+        never delivered (``inf`` for a rank that never crashes).
+
+        This is the reliability layer's dead-peer send cutoff surfaced to
+        upper layers: the replication/failover machinery
+        (:mod:`repro.upcxx.replication`) consults it to decide whether an
+        in-flight operation can still land at a peer, without reaching
+        into the fault plan itself.
+        """
+        if self._faults is None:
+            return float("inf")
+        return self._faults.crash_cutoff(rank)
+
     def wake_on(self, handle: Handle, rank: int) -> None:
         """Convenience: wake ``rank`` when ``handle`` completes."""
         handle.on_complete(lambda h: self.sched.wake(rank, h.time_done))
@@ -1053,4 +1076,7 @@ class Conduit:
             "agg_batches": sum(e.agg_batches for e in self.endpoints),
             "agg_updates": sum(e.agg_updates for e in self.endpoints),
             "agg_credit_stall_s": sum(e.agg_credit_stall_s for e in self.endpoints),
+            "kv_shed": sum(e.kv_shed for e in self.endpoints),
+            "kv_failover_reads": sum(e.kv_failover_reads for e in self.endpoints),
+            "kv_rereplicated": sum(e.kv_rereplicated for e in self.endpoints),
         }

@@ -164,6 +164,45 @@ class Scheduler:
         reliability-layer frame counters."""
         self._conduits.append(conduit)
 
+    # ------------------------------------------------- survivable crashes
+    def on_rank_dead(self, fn: Callable[[int, BaseException, float], None]) -> None:
+        """Register a death listener for *survivable* fault plans.
+
+        ``fn(rank, err, t_detect)`` runs in network context at the
+        heartbeat-detection instant, once per dead rank, in registration
+        order (registration happens in rank context during bootstrap, so
+        the order — and hence every downstream effect — is deterministic).
+        Listeners must follow network-context rules: stage work for rank
+        context (e.g. via a runtime completion queue) and call
+        :meth:`wake`; never run user code or block.
+        """
+        self._dead_listeners.append(fn)
+
+    def detected_dead(self) -> dict:
+        """Ranks whose death the heartbeat has *detected* (survivable
+        mode): rank -> RankDeadError.  Before detection a dead rank is
+        indistinguishable from a slow one, exactly like the real thing."""
+        return self._detected_dead
+
+    def _rank_hosted(self, rank: int) -> bool:
+        """Is ``rank`` simulated by this process?  (Sharded overrides.)"""
+        return True
+
+    def _notify_dead(self, rank: int, err: BaseException, t_detect: float) -> None:
+        """Network context: the heartbeat timeout for ``rank`` fired under
+        a survivable plan.  Instead of failing the run, record the death,
+        run the death listeners, and wake every hosted survivor so blocked
+        predicates re-evaluate against the new membership (spurious wakes
+        are legal on every backend)."""
+        if rank in self._detected_dead:
+            return
+        self._detected_dead[rank] = err
+        for fn in list(self._dead_listeners):
+            fn(rank, err, t_detect)
+        for r in range(self.n_ranks):
+            if r != rank and self._rank_hosted(r):
+                self.wake(r, t_detect)
+
     def stats(self) -> dict:
         """Machine-readable run counters (perf harness / postmortems)."""
         ev = self._events.stats
@@ -357,6 +396,11 @@ class CoroutineScheduler(Scheduler):
         self._failure: Optional[BaseException] = None
         #: rank -> RankDeadError, filled by fault-injection crash events
         self._dead_ranks: dict = {}
+        #: survivable-mode state (see Scheduler.on_rank_dead): whether a
+        #: crash ends the run, the detected-death registry, and listeners
+        self._survivable = False
+        self._dead_listeners: list = []
+        self._detected_dead: dict = {}
         self._conduits: list = []
         self._n_done = 0
         self._running = False
@@ -448,6 +492,18 @@ class CoroutineScheduler(Scheduler):
         Callable from network context (events posting follow-on events).
         """
         self._events.push(t, fn)
+        if t < self._horizon:
+            self._horizon = t
+
+    def post_keyed(self, t: float, stamp: tuple, fn: Callable[[], None]) -> None:
+        """Schedule a callback under an externally minted causal stamp.
+
+        Used for events whose tie-break order must be identical across
+        *processes* (survivable crash detection): the synthetic stamp
+        ``(0.0, rank, 0)`` sorts the same everywhere, matching the sharded
+        backend's remote-detection events.
+        """
+        self._events.push_keyed(t, stamp, fn)
         if t < self._horizon:
             self._horizon = t
 
@@ -780,10 +836,12 @@ class CoroutineScheduler(Scheduler):
                 ctl.thread.join(timeout=30.0)
         if self._failure is not None:
             raise self._failure
-        if self._dead_ranks:
+        if self._dead_ranks and not self._survivable:
             # every survivor finished before the heartbeat timeout fired;
             # the job still failed — a rank died (fail-stop semantics)
             raise self._dead_ranks[min(self._dead_ranks)]
+        # survivable plans serve through the crash: survivors' results are
+        # returned and a dead rank's slot holds None
         return [ctl.result for ctl in self._ranks]
 
 
@@ -852,6 +910,10 @@ class ThreadScheduler(Scheduler):
         self._failure: Optional[BaseException] = None
         #: rank -> RankDeadError, filled by fault-injection crash events
         self._dead_ranks: dict = {}
+        #: survivable-mode state (see Scheduler.on_rank_dead)
+        self._survivable = False
+        self._dead_listeners: list = []
+        self._detected_dead: dict = {}
         self._conduits: list = []
         self._n_done = 0
         self._running = False
@@ -913,6 +975,12 @@ class ThreadScheduler(Scheduler):
         """Schedule a network-context callback at absolute time ``t``."""
         with self._lock:
             self._events.push(t, fn)
+
+    def post_keyed(self, t: float, stamp: tuple, fn: Callable[[], None]) -> None:
+        """Schedule a callback under an externally minted causal stamp
+        (see CoroutineScheduler.post_keyed)."""
+        with self._lock:
+            self._events.push_keyed(t, stamp, fn)
 
     def block(self, reason: str = "") -> None:
         """Sleep until some event wakes me.  Spurious wake-ups possible."""
@@ -1120,7 +1188,7 @@ class ThreadScheduler(Scheduler):
 
         if self._failure is not None:
             raise self._failure
-        if self._dead_ranks:
+        if self._dead_ranks and not self._survivable:
             # every survivor finished before the heartbeat timeout fired;
             # the job still failed — a rank died (fail-stop semantics)
             raise self._dead_ranks[min(self._dead_ranks)]

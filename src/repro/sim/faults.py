@@ -42,6 +42,10 @@ from repro.sim.rng import RankRandom
 
 FAULTS_ENV = "REPRO_FAULTS"
 
+#: environment default for the heartbeat detection timeout (seconds);
+#: applies when the plan spec/dict does not set ``detect`` itself
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_TIMEOUT"
+
 #: number of pre-sampled stall windows per rank (lazily materialized);
 #: enough to cover any realistic run — beyond the last window the NIC is
 #: considered permanently healthy again
@@ -76,7 +80,16 @@ class FaultPlan:
         Mapping of rank id → simulated crash time.
     detect_timeout:
         Heartbeat timeout: survivors raise ``RankDeadError`` at
-        ``crash_time + detect_timeout``.
+        ``crash_time + detect_timeout``.  The ``REPRO_HEARTBEAT_TIMEOUT``
+        environment variable supplies the default for specs/dicts that do
+        not set ``detect`` themselves.
+    survivable:
+        When True, a detected crash does **not** unwind the run: the
+        scheduler records the death, fires registered death listeners
+        (``Scheduler.on_rank_dead``) and wakes the survivors, which keep
+        executing — the mode the replication/failover layer
+        (:mod:`repro.upcxx.replication`) builds on.  Default False
+        (fail-stop, the paper's semantics).
     rto:
         Base retransmission timeout; ``None`` derives a safe default from
         the channel's latency so that a zero-fault plan never spuriously
@@ -94,6 +107,7 @@ class FaultPlan:
     stall_s: float = 0.0
     crash: Dict[int, float] = field(default_factory=dict)
     detect_timeout: float = 2e-5
+    survivable: bool = False
     rto: Optional[float] = None
     max_retx: int = 10
 
@@ -229,6 +243,9 @@ class FaultPlan:
             parts.append(
                 "crash=" + "+".join(f"{r}@{t:g}" for r, t in sorted(self.crash.items()))
             )
+            parts.append(f"detect={self.detect_timeout:g}")
+        if self.survivable:
+            parts.append("survive=1")
         return ",".join(parts)
 
     @staticmethod
@@ -267,13 +284,15 @@ class FaultPlan:
                 kw["crash"] = crashes
             elif key == "detect":
                 kw["detect_timeout"] = float(value)
+            elif key == "survive":
+                kw["survivable"] = bool(int(value))
             elif key == "rto":
                 kw["rto"] = float(value)
             elif key == "max_retx":
                 kw["max_retx"] = int(value)
             else:
                 raise ValueError(f"unknown fault spec key {key!r}")
-        return FaultPlan(**kw)
+        return FaultPlan(**_apply_heartbeat_env(kw))
 
     @staticmethod
     def resolve(value: Union[None, str, dict, "FaultPlan"]) -> Optional["FaultPlan"]:
@@ -293,8 +312,19 @@ class FaultPlan:
         if isinstance(value, str):
             return FaultPlan.parse(value)
         if isinstance(value, dict):
-            return FaultPlan(**value)
+            return FaultPlan(**_apply_heartbeat_env(dict(value)))
         raise TypeError(f"cannot interpret faults={value!r} as a FaultPlan")
 
 
-__all__ = ["FaultPlan", "FAULTS_ENV"]
+def _apply_heartbeat_env(kw: dict) -> dict:
+    """Fill ``detect_timeout`` from ``REPRO_HEARTBEAT_TIMEOUT`` when the
+    spec/dict did not set it explicitly (explicit always wins; plans built
+    programmatically as ``FaultPlan(...)`` are never rewritten)."""
+    if "detect_timeout" not in kw:
+        env = os.environ.get(HEARTBEAT_ENV, "").strip()
+        if env:
+            kw["detect_timeout"] = float(env)
+    return kw
+
+
+__all__ = ["FaultPlan", "FAULTS_ENV", "HEARTBEAT_ENV"]

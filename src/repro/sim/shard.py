@@ -705,6 +705,13 @@ class ShardedScheduler(CoroutineScheduler):
     def shard_is_local(self, rank: int) -> bool:
         return self._local_lo <= rank < self._local_hi
 
+    def _rank_hosted(self, rank: int) -> bool:
+        # Survivable-crash notifications may only touch ranks this shard
+        # hosts: a raw wake cannot cross shards (see wake() below).
+        if self._shard_id is None:
+            return True
+        return self.shard_is_local(rank)
+
     def wake(self, rid: int, at_time: float) -> None:
         if self._shard_id is not None and not (self._local_lo <= rid < self._local_hi):
             raise SimError(
@@ -1033,13 +1040,20 @@ class ShardedScheduler(CoroutineScheduler):
         for r, t_die in sorted(plan.crashes.items()):
             if lo <= r < hi:
                 continue  # the owner shard already has the rank's events
+            t_detect = t_die + plan.detect_timeout
 
-            def _detect(err=plan.dead_error(r)):
-                if self._failure is None:
-                    self._fail(err)
+            if plan.survivable:
+                # Scoped failure domain: every shard observes the death at
+                # the same stamp and runs its local death listeners; the
+                # run continues with the survivors.
+                def _detect(r=r, t=t_detect, err=plan.dead_error(r)):
+                    self._notify_dead(r, err, t)
+            else:
+                def _detect(err=plan.dead_error(r)):
+                    if self._failure is None:
+                        self._fail(err)
 
-            self._events.push_keyed(
-                t_die + plan.detect_timeout, (0.0, r, 0), _detect)
+            self._events.push_keyed(t_detect, (0.0, r, 0), _detect)
 
     def _worker_stats(self) -> dict:
         ev = self._events.stats
@@ -1352,7 +1366,7 @@ class ShardedScheduler(CoroutineScheduler):
                 if sp is not None:
                     sp.extend_canonical(span_lists)
                     break
-        if dead_merged:
+        if dead_merged and not self._survivable:
             # same verdict the single-process backends reach at run() end
             rank = min(dead_merged)
             self._failure = RankDeadError(rank, dead_merged[rank])

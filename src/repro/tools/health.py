@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 #: default ceilings for the built-in computed rules
 DEFAULT_MIN_UTILIZATION = 0.9        # the kv knee efficiency
+DEFAULT_MIN_AVAILABILITY = 0.99      # requests served under a crash plan
 DEFAULT_MAX_OVERHEAD_RATIO = 1.02    # telemetry/reliability wall-clock adds
 DEFAULT_MAX_GAP_S = 1e-3             # attentiveness ceiling (simulated)
 DEFAULT_MAX_RETX_RATE = 0.05         # retransmits per NIC op
@@ -122,8 +123,15 @@ def _check_bench_gates(bench: dict) -> List[Verdict]:
         if g.get("skipped"):
             out.append(Verdict(name, "SKIP", "gate skipped (workload not run)"))
             continue
-        detail = (f"measured {g.get('measured_speedup')}x vs target "
-                  f"{g.get('target_speedup')}x")
+        if "target_speedup" in g:
+            detail = (f"measured {g.get('measured_speedup')}x vs target "
+                      f"{g.get('target_speedup')}x")
+        else:
+            # availability-shaped gate (kv_crash_availability)
+            detail = (f"availability {g.get('measured_availability')} >= "
+                      f"{g.get('min_availability')}, writes lost "
+                      f"{g.get('writes_lost')}, factor restored "
+                      f"{g.get('factor_restored')}")
         if g.get("advisory"):
             # advisory = the runner can't meet the gate's documented
             # cpu/shard requirements; the number is honest but reflects
@@ -215,13 +223,25 @@ def _check_kv_point(kv: dict, min_util: float, p99_slo: Optional[float],
                     p999_slo: Optional[float]) -> List[Verdict]:
     out: List[Verdict] = []
     util = kv.get("utilization")
+    is_crash = kv.get("crash_rank") is not None
     if util is not None:
-        ok = util >= min_util
-        detail = (f"achieved {kv.get('achieved_rps')}/{kv.get('offered_rps')} req/s, "
-                  f"utilization {util} >= {min_util}")
-        if not ok:
-            detail += " — service is saturated (offered load above the knee)"
-        out.append(Verdict("kv-utilization", "PASS" if ok else "FAIL", detail))
+        if is_crash:
+            # a crash point's serving time includes failure detection,
+            # recovery shipping, and the extended drain — utilization is
+            # honest but not a capacity statement, so never gate on it
+            out.append(Verdict(
+                "kv-utilization", "INFO",
+                f"crash point: utilization {util} is informational "
+                "(serving time includes detection + recovery + drain)",
+                "info",
+            ))
+        else:
+            ok = util >= min_util
+            detail = (f"achieved {kv.get('achieved_rps')}/{kv.get('offered_rps')} req/s, "
+                      f"utilization {util} >= {min_util}")
+            if not ok:
+                detail += " — service is saturated (offered load above the knee)"
+            out.append(Verdict("kv-utilization", "PASS" if ok else "FAIL", detail))
     for pct, slo in (("p99_s", p99_slo), ("p999_s", p999_slo)):
         if slo is None:
             continue
@@ -233,6 +253,57 @@ def _check_kv_point(kv: dict, min_util: float, p99_slo: Optional[float],
         out.append(Verdict(
             f"kv-{pct[:-2]}", "PASS" if ok else "FAIL",
             f"{pct} = {v * 1e6:.1f}us <= SLO {slo * 1e6:.1f}us",
+        ))
+    return out
+
+
+def _check_kv_availability(kv: dict, min_avail: float,
+                           max_recovery_s: Optional[float]) -> List[Verdict]:
+    """Availability / recovery rules over a kv point's robustness fields."""
+    avail = kv.get("availability")
+    if avail is None:
+        return [Verdict("kv-availability", "SKIP",
+                        "no availability fields recorded (pre-replication point)")]
+    out: List[Verdict] = []
+    served = kv.get("requests_served")
+    issued = kv.get("requests_issued")
+    ok = avail >= min_avail
+    out.append(Verdict(
+        "kv-availability", "PASS" if ok else "FAIL",
+        f"{served}/{issued} accepted requests served = {avail:.4f} >= {min_avail}",
+    ))
+    shed = kv.get("shed_fraction")
+    if shed:
+        out.append(Verdict(
+            "kv-shed", "INFO",
+            f"admission control shed {kv.get('requests_shed')} requests "
+            f"(fraction {shed:.4f})", "info",
+        ))
+    if kv.get("crash_rank") is None:
+        return out
+    lost = kv.get("writes_lost", 0)
+    out.append(Verdict(
+        "kv-writes-lost", "PASS" if lost == 0 else "FAIL",
+        f"{lost} writes lost their every owner before an ack",
+    ))
+    restored = kv.get("factor_restored")
+    out.append(Verdict(
+        "kv-factor-restored", "PASS" if restored else "FAIL",
+        f"replication factor {kv.get('replication')} "
+        f"{'restored online' if restored else 'NOT restored'} "
+        f"({kv.get('rereplicated_keys')} keys re-shipped)",
+    ))
+    rec = kv.get("recovery_s", 0.0)
+    if max_recovery_s is None:
+        out.append(Verdict(
+            "kv-recovery", "INFO",
+            f"detection-to-restored recovery {rec * 1e6:.0f}us "
+            f"({kv.get('failover_reads')} failover reads)", "info",
+        ))
+    else:
+        out.append(Verdict(
+            "kv-recovery", "PASS" if rec <= max_recovery_s else "FAIL",
+            f"recovery {rec * 1e6:.0f}us <= {max_recovery_s * 1e6:.0f}us",
         ))
     return out
 
@@ -289,6 +360,8 @@ def evaluate(docs: Dict[str, Optional[dict]], rules: Sequence[dict] = (),
              max_overhead_ratio: float = DEFAULT_MAX_OVERHEAD_RATIO,
              p99_slo: Optional[float] = None,
              p999_slo: Optional[float] = None,
+             min_availability: float = DEFAULT_MIN_AVAILABILITY,
+             max_recovery_s: Optional[float] = None,
              max_gap_s: float = DEFAULT_MAX_GAP_S,
              max_retx_rate: float = DEFAULT_MAX_RETX_RATE,
              max_stall_frac: float = DEFAULT_MAX_STALL_FRAC,
@@ -305,6 +378,7 @@ def evaluate(docs: Dict[str, Optional[dict]], rules: Sequence[dict] = (),
     kv = docs.get("kv")
     if kv is not None:
         verdicts.extend(_check_kv_point(kv, min_utilization, p99_slo, p999_slo))
+        verdicts.extend(_check_kv_availability(kv, min_availability, max_recovery_s))
     tel = docs.get("telemetry")
     if tel is not None:
         verdicts.extend(_check_telemetry(tel, max_gap_s, max_retx_rate, max_stall_frac))
@@ -332,6 +406,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     help="p99 sojourn SLO in seconds (kv doc)")
     ap.add_argument("--p999-slo", type=float, default=None,
                     help="p999 sojourn SLO in seconds (kv doc)")
+    ap.add_argument("--min-availability", type=float,
+                    default=DEFAULT_MIN_AVAILABILITY,
+                    help="floor on the fraction of accepted requests served "
+                    "(kv doc with availability fields)")
+    ap.add_argument("--max-recovery", type=float, default=None,
+                    help="ceiling on detection-to-factor-restored recovery "
+                    "time in simulated seconds (kv crash doc); reported as "
+                    "INFO when unset")
     ap.add_argument("--max-gap", type=float, default=DEFAULT_MAX_GAP_S,
                     help="attentiveness ceiling in simulated seconds")
     ap.add_argument("--max-retx-rate", type=float, default=DEFAULT_MAX_RETX_RATE)
@@ -358,6 +440,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_overhead_ratio=args.max_overhead_ratio,
         p99_slo=args.p99_slo,
         p999_slo=args.p999_slo,
+        min_availability=args.min_availability,
+        max_recovery_s=args.max_recovery,
         max_gap_s=args.max_gap,
         max_retx_rate=args.max_retx_rate,
         max_stall_frac=args.max_stall_frac,

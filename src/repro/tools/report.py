@@ -44,7 +44,7 @@ from repro.util.spans import PHASES, SpanBuffer, _canon_key
 #: display order of attribution categories
 CATEGORIES = [
     "software", "backpressure", "occupancy", "wire", "attentiveness", "retry",
-    "cache", "app",
+    "cache", "recovery", "app",
 ]
 
 #: a critical-path segment: (t0, t1, category, phase, kind, sid-or-None)

@@ -26,6 +26,7 @@ Collectives
 """
 
 from repro.upcxx.aggregator import AggStore
+from repro.upcxx.replication import ReplicaMap, ReplicatedStore
 from repro.upcxx.api import (
     compute,
     default_ppn,
@@ -147,6 +148,9 @@ __all__ = [
     "discharge",
     # aggregation (HipMer-style destination batching)
     "AggStore",
+    # replication / online recovery
+    "ReplicaMap",
+    "ReplicatedStore",
     # costs / runtime access
     "UpcxxCosts",
     "DEFAULT_COSTS",

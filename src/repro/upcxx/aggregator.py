@@ -283,9 +283,27 @@ class AggStore:
         self._batch_seq = 0
         # -- flow control ---------------------------------------------------
         self._credits: Optional[List[int]] = None if credits is None else [credits] * n
+        self._credits_init = credits
         self._wants_ack = credits is not None or on_batch_acked is not None
         self.credit_stalls = 0
         self.credit_stall_s = 0.0
+        # -- dead-peer exclusion (repro.upcxx.replication) ------------------
+        #: peers detected dead: no sends, no credit waits, acks forgiven
+        self._dead_peers: set = set()
+        #: unacked in-flight batches per destination (forgiveness basis)
+        self._inflight_to: List[int] = [0] * n
+        #: batches to a now-dead peer whose ack will never arrive; counts
+        #: toward the quiescence ack drain in place of the lost acks
+        self.acks_forgiven = 0
+        #: late acks from a dead peer, dropped (the batch was forgiven)
+        self.acks_ignored = 0
+        #: buffered updates dropped because their destination died
+        self.updates_dropped = 0
+        #: cache entries purged wholesale at a death (coherence reset)
+        self.cache_purges = 0
+        #: team the quiescence collectives run on; swapped to the alive
+        #: subteam by exclude_dead so a dead rank cannot hang the drain
+        self.quiesce_team = self.team
         # -- hot-key cache --------------------------------------------------
         self._cache: Optional[OrderedDict] = OrderedDict() if cache_capacity > 0 else None
         self.cache_hits = 0
@@ -299,7 +317,16 @@ class AggStore:
 
     def update(self, key, value) -> None:
         """Buffer one update; flushes the destination's buffer when full."""
-        t = self.dest_of(key)
+        self.update_to(self.dest_of(key), key, value)
+
+    def update_to(self, t: int, key, value) -> None:
+        """Buffer one update for an explicit destination (the replication
+        layer's fan-out entry point; :meth:`update` is the routed case).
+        Updates addressed to a detected-dead peer are dropped — the caller
+        owns a surviving copy or accounts the loss."""
+        if t in self._dead_peers:
+            self.updates_dropped += 1
+            return
         bk = self._buf_keys[t]
         bk.append(key)
         self._buf_vals[t].append(value)
@@ -334,9 +361,22 @@ class AggStore:
         for t in range(self._n):
             self._flush_dest(t)
 
+    def _drop_dead_buffer(self, t: int) -> None:
+        """Discard the (undeliverable) buffer for a detected-dead peer."""
+        bk = self._buf_keys[t]
+        if bk:
+            self._sent_updates[t] -= len(bk)
+            self.updates_dropped += len(bk)
+            self._buf_keys[t] = []
+            self._buf_vals[t] = []
+        self._t_first[t] = None
+
     def _flush_dest(self, t: int) -> None:
         bk = self._buf_keys[t]
         if not bk:
+            return
+        if t in self._dead_peers:
+            self._drop_dead_buffer(t)
             return
         rt = self._rt
         credits = self._credits
@@ -344,7 +384,9 @@ class AggStore:
             # backpressure: stall in simulated time until the peer acks
             self.credit_stalls += 1
             t0 = rt.now()
-            rt.wait_quiet(lambda: credits[t] > 0, "agg::credit")
+            rt.wait_quiet(
+                lambda: credits[t] > 0 or t in self._dead_peers, "agg::credit"
+            )
             dt = rt.now() - t0
             if dt > 0.0:
                 self.credit_stall_s += dt
@@ -353,6 +395,11 @@ class AggStore:
                 if sp is not None:
                     sp.record(t0, rt.now(), rt.rank, rt.next_span_sid(),
                               "credit_wait", "agg", len(bk))
+            if t in self._dead_peers:
+                # the peer died while we stalled on its credits: the
+                # exclusion restored them, but the buffer is undeliverable
+                self._drop_dead_buffer(t)
+                return
             bk = self._buf_keys[t]
         # snapshot *after* any stall: updates buffered meanwhile ride along
         bv = self._buf_vals[t]
@@ -372,6 +419,8 @@ class AggStore:
         seq = self._batch_seq
         self.batches_sent += 1
         self.updates_sent += len(bk)
+        if self._wants_ack:
+            self._inflight_to[t] += 1
         ep = rt.conduit.endpoints[rt.rank]
         ep.agg_batches += 1
         ep.agg_updates += len(bk)
@@ -390,7 +439,15 @@ class AggStore:
         return tuple(items)
 
     def _on_ack(self, dest_trank: int, seq: int) -> None:
+        if dest_trank in self._dead_peers:
+            # a straggler ack from a peer we already excluded: its batch
+            # was forgiven and its credit restored — drop it entirely so
+            # the quiescence arithmetic stays exact
+            self.acks_ignored += 1
+            return
         self.acks_received += 1
+        if self._inflight_to[dest_trank] > 0:
+            self._inflight_to[dest_trank] -= 1
         if self._credits is not None:
             self._credits[dest_trank] += 1
         cb = self._on_batch_acked
@@ -400,6 +457,10 @@ class AggStore:
     # ------------------------------------------------------- invalidations
     def _queue_inval(self, watcher_trank: int, key) -> None:
         """Owner side: queue one invalidation for a watcher (piggybacked)."""
+        if watcher_trank in self._dead_peers:
+            # a pre-crash read RPC can still register a now-dead watcher;
+            # never owe coherence traffic to a peer that cannot ack it
+            return
         buf = self._inval_buf[watcher_trank]
         buf.append(key)
         self._sent_invals[watcher_trank] += 1
@@ -411,6 +472,11 @@ class AggStore:
     def _flush_invals_dest(self, t: int) -> None:
         buf = self._inval_buf[t]
         if not buf:
+            return
+        if t in self._dead_peers:
+            self._sent_invals[t] -= len(buf)
+            self._inval_buf[t] = []
+            self._t_first_inval[t] = None
             return
         self._inval_buf[t] = []
         self._t_first_inval[t] = None
@@ -425,6 +491,11 @@ class AggStore:
     # -------------------------------------------------------------- reads
     def read(self, key, default=None) -> Future:
         """Asynchronous read of ``key`` (cache, then owner read-through)."""
+        return self.read_from(self.dest_of(key), key, default)
+
+    def read_from(self, t: int, key, default=None) -> Future:
+        """Read-through against an explicit holder rank (the replication
+        layer's failover entry point; :meth:`read` is the routed case)."""
         rt = self._rt
         cache = self._cache
         if cache is not None:
@@ -443,7 +514,6 @@ class AggStore:
                 cache.move_to_end(key)
                 return make_future(v)
             self.cache_misses += 1
-        t = self.dest_of(key)
         reader = self._my_trank if cache is not None else -1
         fut = rpc(self.team[t], _agg_read, self._dobj, key, reader, default)
         if cache is not None:
@@ -458,6 +528,49 @@ class AggStore:
             cache.popitem(last=False)
         return value
 
+    # ----------------------------------------------------- death handling
+    def exclude_dead(self, trank: int, alive_team) -> None:
+        """Cut a detected-dead peer out of every delivery obligation.
+
+        Idempotent.  After this call the store can reach quiescence with
+        the peer gone: its in-flight batches are *forgiven* (they count
+        toward the ack drain in place of the acks that will never come),
+        its credits are restored so no sender stalls on it forever, its
+        buffered traffic is dropped, and the quiescence collectives are
+        re-pointed at ``alive_team`` so a dead rank cannot hang them.
+        The whole read cache is purged: the keys the dead rank owned are
+        about to fail over to new primaries that hold no watcher
+        registrations for us, so coherence restarts cold.
+        """
+        if trank in self._dead_peers:
+            return
+        self._dead_peers.add(trank)
+        # forgive unackable in-flight batches and restore their credits
+        forgiven = self._inflight_to[trank]
+        if forgiven:
+            self.acks_forgiven += forgiven
+            self._inflight_to[trank] = 0
+        if self._credits is not None:
+            self._credits[trank] = self._credits_init
+        # drop buffered traffic addressed to the dead peer
+        self._drop_dead_buffer(trank)
+        inv = self._inval_buf[trank]
+        if inv:
+            self._sent_invals[trank] -= len(inv)
+            self._inval_buf[trank] = []
+        self._t_first_inval[trank] = None
+        # stop owing the dead peer coherence traffic
+        for ws in self.state["watchers"].values():
+            if trank in ws:
+                ws.remove(trank)
+        # purge the local cache wholesale: failed-over owners hold no
+        # watcher registration for us, so cached copies of their keys
+        # could go silently stale — restart cold and re-register
+        if self._cache is not None and self._cache:
+            self.cache_purges += len(self._cache)
+            self._cache.clear()
+        self.quiesce_team = alive_team
+
     # --------------------------------------------------------- quiescence
     def quiesce(self) -> None:
         """Global quiescence (collective): counting-based termination.
@@ -471,30 +584,34 @@ class AggStore:
         """
         rt = self._rt
         me = self._my_trank
+        team = self.quiesce_team
         self.flush()
         expected = reduce_all(
-            self._sent_updates.copy(), lambda a, b: a + b, team=self.team
+            self._sent_updates.copy(), lambda a, b: a + b, team=team
         ).wait()
         owed = int(expected[me])
+        # ``>=``: a since-dead sender's pre-crash deliveries are not in
+        # the alive-team expectation, so applied may legitimately overshoot
         rt.wait_quiet(lambda: self.state["applied_updates"] >= owed, "agg::quiesce")
-        barrier(team=self.team)
+        barrier(team=team)
         if self.cache_capacity > 0:
             # all data batches are applied everywhere, so every
             # invalidation that will ever be generated is now queued
             self.flush_invals()
             expected_inv = reduce_all(
-                self._sent_invals.copy(), lambda a, b: a + b, team=self.team
+                self._sent_invals.copy(), lambda a, b: a + b, team=team
             ).wait()
             owed_inv = int(expected_inv[me])
             rt.wait_quiet(
                 lambda: self.state["applied_invals"] >= owed_inv, "agg::quiesce-inv"
             )
-            barrier(team=self.team)
+            barrier(team=team)
         if self._wants_ack:
             rt.wait_quiet(
-                lambda: self.acks_received >= self.batches_sent, "agg::quiesce-ack"
+                lambda: self.acks_received + self.acks_forgiven >= self.batches_sent,
+                "agg::quiesce-ack",
             )
-            barrier(team=self.team)
+            barrier(team=team)
 
     # ------------------------------------------------------------- queries
     def local_items(self) -> dict:
@@ -518,4 +635,8 @@ class AggStore:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_invalidations": self.cache_invalidations,
+            "acks_forgiven": self.acks_forgiven,
+            "acks_ignored": self.acks_ignored,
+            "updates_dropped": self.updates_dropped,
+            "cache_purges": self.cache_purges,
         }

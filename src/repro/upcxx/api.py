@@ -118,7 +118,19 @@ def run_spmd(
             sched.rank_env().pop("upcxx_rt", None)
 
     try:
-        return sched.run(bootstrap)
+        results = sched.run(bootstrap)
+        tel = world.telemetry
+        if (
+            tel is not None
+            and faults is not None
+            and faults.survivable
+            and faults.crashes
+        ):
+            # the run outlived its crashes (replication/failover): emit
+            # the same post-mortem bundle with a "Survived" verdict so
+            # chaos tooling has the replica-state tables either way
+            tel.emit_blackbox(None, faults)
+        return results
     except (RankDeadError, RankFailure) as err:
         tel = world.telemetry
         if tel is not None:

@@ -147,11 +147,23 @@ class World:
         #: optional repro.util.telemetry.Telemetry (windowed rollups +
         #: flight recorder); same gating discipline as metrics/spans
         self.telemetry = telemetry if telemetry is not None and telemetry.enabled else None
-        if self.telemetry is not None and faults is not None and faults.crashes:
+        if (
+            self.telemetry is not None
+            and faults is not None
+            and faults.crashes
+            and not faults.survivable
+        ):
             # freeze rings/windows at the first crash time so post-mortem
             # bundles are bit-identical across backends (the sharded
-            # backend over-executes survivors past the abort point)
+            # backend over-executes survivors past the abort point).
+            # Survivable plans keep recording: execution past the crash is
+            # deterministic there, and the post-crash windows are the story.
             self.telemetry.freeze_at = min(faults.crashes.values())
+        if faults is not None and faults.survivable:
+            # every process of the job (including shard workers that host
+            # no crashing rank) must return results instead of re-raising
+            # the recorded death at end of run
+            sched._survivable = True
         #: optional repro.sim.faults.FaultPlan (chaos injection)
         self.faults = faults
         self.conduit = Conduit(
@@ -288,6 +300,14 @@ class Runtime:
           timeout fires on the survivors; unless the run already failed,
           the scheduler aborts every rank with :class:`RankDeadError` so
           blocked collectives/waits never hang.
+
+        Under a *survivable* plan the detect event instead notifies the
+        scheduler's death listeners (``Scheduler._notify_dead``) and the
+        run keeps going.  Because execution continues past detection, the
+        detect event's causal stamp must be identical on every backend: it
+        is armed under the synthetic stamp ``(0.0, rank, 0)`` — disjoint
+        from every organically minted stamp (rank-context seqs start at 1)
+        and exactly what the sharded backend's remote-detection events use.
         """
         rank = self.rank
         sched = self.sched
@@ -300,12 +320,21 @@ class Runtime:
             # observes its own death instead of sleeping forever
             sched.wake(rank, t_die)
 
-        def detect() -> None:
-            if sched._failure is None:
-                sched._fail(err)
-
         sched.post_at(t_die, die)
-        sched.post_at(t_die + plan.detect_timeout, detect)
+        t_detect = t_die + plan.detect_timeout
+        if plan.survivable:
+
+            def detect() -> None:
+                sched._notify_dead(rank, err, t_detect)
+
+            sched.post_keyed(t_detect, (0.0, rank, 0), detect)
+        else:
+
+            def detect() -> None:
+                if sched._failure is None:
+                    sched._fail(err)
+
+            sched.post_at(t_detect, detect)
 
     # ----------------------------------------------------------- telemetry
     def _pending_snapshot(self) -> dict:

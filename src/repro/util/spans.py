@@ -78,6 +78,14 @@ PHASES = {
     "credit_wait": "backpressure",
     # hot-key read served from the local cache (the map_lookup charge)
     "cache_hit": "cache",
+    # replication layer: rank-death exclusion handler (cache purge,
+    # credit restoration, read failover, write settlement)
+    "death_exclude": "recovery",
+    # stage-1 re-replication ship [issue, recruit's ack] restoring the
+    # replication factor after a detected death
+    "rereplicate": "recovery",
+    # drain-time replace-sync sweep making every replica exact
+    "anti_entropy": "recovery",
 }
 
 SpanRecord = Tuple[float, float, int, tuple, str, str, int, Optional[tuple]]

@@ -87,6 +87,9 @@ class RankTelemetry:
         # crash post-mortem state
         self.died_at: Optional[float] = None
         self.pending: Optional[dict] = None
+        #: replication-layer state table (set by the KV service at drain:
+        #: factor, shard size, deaths seen, restored flag, recovery time)
+        self.replica: Optional[dict] = None
         # window bookkeeping
         self._next_edge = window_s
         self._last_t: Optional[float] = None
@@ -196,6 +199,11 @@ class RankTelemetry:
                 "credit_stall_s": ep.agg_credit_stall_s,
                 "cache_hits": ep.agg_cache_hits,
             },
+            "kv": {
+                "shed": ep.kv_shed,
+                "failover_reads": ep.kv_failover_reads,
+                "rereplicated": ep.kv_rereplicated,
+            },
         }
         self.windows.append(win)
         self._win_gap = 0.0
@@ -208,6 +216,7 @@ class RankTelemetry:
             "window_s": self.window_s,
             "died_at": self.died_at,
             "pending": self.pending,
+            "replica": self.replica,
             "ring": [[t, kind, detail] for (t, kind, detail) in self.ring],
             "windows": list(self.windows),
             "totals": {
@@ -277,6 +286,10 @@ class Telemetry:
         """Adopt per-rank telemetry collected elsewhere (shard workers)."""
         self._ranks.update(ranks)
 
+    def set_replica_state(self, rank: int, state: dict) -> None:
+        """Record a rank's replication-layer state table (blackbox feed)."""
+        self.rank(rank).replica = state
+
     # --------------------------------------------------------------- export
     def as_dict(self) -> dict:
         return {
@@ -290,17 +303,25 @@ class Telemetry:
 
     # ------------------------------------------------------------- blackbox
     def build_blackbox(self, err, faults=None) -> dict:
-        """Assemble the post-mortem bundle for a failed run.
+        """Assemble the post-mortem bundle for a failed (or survived) run.
 
-        For crash plans the bundle is truncated at the *first* crash time:
-        every backend is guaranteed to have executed all rank-context work
-        stamped at-or-before that cutoff, so the bundle is bit-identical
-        across coroutines/threads/sharded for the same seed.  Non-crash
-        failures (``RankFailure``) carry no cutoff.
+        For *fatal* crash plans the bundle is truncated at the first crash
+        time: every backend is guaranteed to have executed all rank-context
+        work stamped at-or-before that cutoff, so the bundle is
+        bit-identical across coroutines/threads/sharded for the same seed.
+        Non-crash failures (``RankFailure``) carry no cutoff.
+
+        ``err=None`` records a *survived* crash run (survivable plan +
+        replication): no cutoff is applied — execution past the crash is
+        itself deterministic — and the verdict states that the service
+        outlived its failures.  Per-rank entries then carry the
+        replication-layer ``replica`` state table.
         """
+        crashes = getattr(faults, "crashes", None) if faults is not None else None
+        survivable = bool(getattr(faults, "survivable", False))
         cutoff: Optional[float] = None
-        if faults is not None and getattr(faults, "crashes", None):
-            cutoff = min(faults.crashes.values())
+        if crashes and not (survivable and err is None):
+            cutoff = min(crashes.values())
         ranks = {}
         for r, rt in sorted(self._ranks.items()):
             ranks[str(r)] = {
@@ -309,14 +330,29 @@ class Telemetry:
                 "tail": rt.tail(cutoff),
                 "last_window": rt.last_window(cutoff),
                 "pending": rt.pending,
+                "replica": rt.replica,
             }
-        return {
-            "schema": BLACKBOX_SCHEMA,
-            "verdict": {
+        if err is None:
+            verdict = {
+                "type": "Survived",
+                "rank": None,
+                "message": (
+                    f"run completed through {len(crashes or {})} crash(es); "
+                    "service stayed available"
+                ),
+            }
+        else:
+            verdict = {
                 "type": type(err).__name__,
                 "rank": getattr(err, "rank", None),
                 "message": str(err),
-            },
+            }
+        verdict["detect_timeout_s"] = (
+            getattr(faults, "detect_timeout", None) if faults is not None else None
+        )
+        return {
+            "schema": BLACKBOX_SCHEMA,
+            "verdict": verdict,
             "cutoff_s": cutoff,
             "window_s": self.window_s,
             "ranks": ranks,

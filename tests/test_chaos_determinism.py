@@ -327,6 +327,64 @@ def test_kvservice_chaos_bit_identical_across_backends():
     assert total == cfg["ranks"] * cfg["n_requests"]  # chaos lost nothing
 
 
+# ----------------------------------------- replicated survivable crashes
+def _kv_replicated_run(backend, spec, replication=2):
+    from repro.apps.kvservice import default_config, kv_rank_body
+
+    cfg = default_config("tiny")
+    cfg.update({"ranks": 4, "ppn": 2, "n_requests": 64, "n_keys": 128,
+                "replication": replication})
+    sp = SpanBuffer()
+    res = upcxx.run_spmd(
+        lambda: kv_rank_body(cfg), cfg["ranks"], ppn=cfg["ppn"],
+        seed=9, backend=backend, faults=spec, spans=sp,
+    )
+    return list(res), sp.fingerprint()
+
+
+@pytest.mark.parametrize("spec,dead_rank", [
+    ("seed=7,crash=3@2e-4,survive=1", 3),
+    ("seed=8,crash=1@1e-4,survive=1,detect=4e-5", 1),
+])
+def test_replicated_crash_bit_identical_across_backends(spec, dead_rank):
+    """With replication factor 2 a survivable crash plan completes the
+    run (no RankDeadError): failover reads retarget to surviving
+    replicas, re-replication restores the factor, and the whole
+    timeline — per-rank records AND span fingerprints, recovery spans
+    included — is bit-identical on coroutines, threads, and 2-shard
+    sharded.  The dead rank's result slot is None everywhere."""
+    got = _all_backends(lambda b: _kv_replicated_run(b, spec))
+    ref = got["coroutines"]
+    assert got["threads"] == ref
+    assert got["sharded"] == ref
+
+    records, _fp = ref
+    assert records[dead_rank] is None
+    survivors = [r for r in records if r is not None]
+    assert len(survivors) == 3
+    issued = sum(r["requests_issued"] for r in survivors)
+    served = sum(r["requests_served"] for r in survivors)
+    assert issued > 0 and served / issued >= 0.99
+    assert sum(r["writes_lost"] for r in survivors) == 0
+    assert all(r["deaths_seen"] == 1 for r in survivors)
+    assert all(r["factor_restored"] for r in survivors)
+    # the service actually exercised the recovery path, not a quiet pass
+    assert sum(r["rereplicated_keys"] for r in survivors) > 0
+
+
+def test_replicated_crash_survives_only_with_replication():
+    """Sanity for the gate's premise: the same survivable crash plan that
+    completes under rf=2 also completes under rf=1 (the run survives),
+    but only rf=2 re-replicates — rf=1 has no surviving copy to ship."""
+    spec = "seed=7,crash=3@2e-4,survive=1"
+    rf2 = _kv_replicated_run("coroutines", spec, replication=2)
+    rf1 = _kv_replicated_run("coroutines", spec, replication=1)
+    s2 = [r for r in rf2[0] if r is not None]
+    s1 = [r for r in rf1[0] if r is not None]
+    assert sum(r["rereplicated_keys"] for r in s2) > 0
+    assert sum(r["rereplicated_keys"] for r in s1) == 0
+
+
 def test_fault_env_var_spec(monkeypatch):
     """REPRO_FAULTS configures run_spmd without code changes."""
     from repro.sim.faults import FAULTS_ENV

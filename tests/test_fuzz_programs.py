@@ -214,6 +214,85 @@ def test_random_agg_programs_match_oracle(ops, batch_size):
         assert got == want
 
 
+# ======================================================================
+# Replication dimension: random programs vs the sum oracle THROUGH a crash
+# ======================================================================
+#: survivable single-crash plans paired with the rank they kill.  The
+#: crashing rank issues no updates (its partially-delivered batches would
+#: not be oracle-predictable); every *surviving* writer's deltas must be
+#: fully accounted for in the post-recovery store.
+_SURVIVABLE_SPECS = [
+    ("seed=41,crash=1@5e-5,survive=1", 1),
+    ("seed=42,crash=2@2e-4,survive=1", 2),
+    ("seed=43,crash=0@1e-4,survive=1,detect=4e-5", 0),
+    ("seed=44,drop=0.15,crash=3@1e-4,survive=1", 3),
+]
+
+
+def _run_repl_simulated(ops, crash_rank, spec, replication=2):
+    """Push surviving ranks' ops through a ReplicatedStore while the plan
+    kills ``crash_rank``, then read the whole keyspace back after drain +
+    anti-entropy.  Returns per-rank value tuples (None for the dead rank)."""
+    from repro.upcxx.replication import ReplicatedStore
+
+    def body():
+        me = upcxx.rank_me()
+        rt = upcxx.runtime_here()
+        store = ReplicatedStore("+", batch_size=4, replication=replication,
+                                credits=2, max_dwell=5e-6, cache_capacity=8)
+        upcxx.barrier()
+        for i, (src, key, delta) in enumerate(ops):
+            if src != me or src == crash_rank:
+                continue
+            store.update(key, delta)
+            if i % 7 == 3:
+                store.poll()
+        # park past the detection horizon so the drain collectives start
+        # on the final alive membership everywhere (same idiom as the KV
+        # service body)
+        faults = rt.world.faults
+        t_settle = max(t + faults.detect_timeout
+                       for t in faults.crashes.values())
+        if rt.now() < t_settle:
+            sched = rt.sched
+            sched.post_at(t_settle, lambda: sched.wake(me, t_settle))
+            rt.wait_quiet(lambda: rt.now() >= t_settle, "fuzz::settle")
+        upcxx.progress()
+
+        store.store.quiesce()
+        got: dict = {}
+        for k in range(N_AGG_KEYS):
+            store.read(k, default=0, cb=lambda key, v: got.__setitem__(key, v))
+        rt.wait_quiet(lambda: store.reads_outstanding() == 0, "fuzz::reads")
+        store.store.quiesce()  # settle read-triggered invalidation watchers
+        store.anti_entropy()
+        upcxx.barrier(team=store.store.quiesce_team)
+        return tuple(got.get(k, 0) for k in range(N_AGG_KEYS))
+
+    return upcxx.run_spmd(body, N_RANKS, faults=spec)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.lists(_agg_op, min_size=1, max_size=40),
+       st.sampled_from(_SURVIVABLE_SPECS))
+def test_random_replicated_programs_survive_crash(ops, spec_and_rank):
+    """Replication dimension: with factor 2 a survivable rank crash must
+    not cost any surviving writer's data — after failover + drain-time
+    anti-entropy, every survivor reads back exactly the oracle sums of
+    the surviving ranks' deltas.  The dead rank's slot is None; the run
+    completes (never hangs, never raises)."""
+    spec, crash_rank = spec_and_rank
+    live_ops = [op for op in ops if op[0] != crash_rank]
+    expected = _agg_oracle(live_ops)
+    want = tuple(expected.get(k, 0) for k in range(N_AGG_KEYS))
+    results = _run_repl_simulated(ops, crash_rank, spec)
+    for rank, got in enumerate(results):
+        if rank == crash_rank:
+            assert got is None
+        else:
+            assert got == want, f"rank {rank} diverged from the sum oracle"
+
+
 @settings(max_examples=10, deadline=None)
 @given(st.lists(_agg_op, min_size=1, max_size=40),
        st.sampled_from([1, 8]),

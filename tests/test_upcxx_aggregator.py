@@ -133,6 +133,7 @@ class TestAggStoreCore:
             "applied_updates", "applied_batches", "applied_invals",
             "credit_stalls", "credit_stall_s",
             "cache_hits", "cache_misses", "cache_invalidations",
+            "acks_forgiven", "acks_ignored", "updates_dropped", "cache_purges",
         }
         for s in res:
             assert set(s) == expected_keys
